@@ -1,0 +1,57 @@
+"""Figure 7: runtime and energy improvement of PolyMath over the Xeon CPU.
+
+Paper headline: geomean ~3.3-3.8x runtime, ~18-24x energy; deep learning
+*loses* runtime (~0.2x, VTA is a low-power part) but wins energy; the
+Hexacopter beats the MobileRobot; FFT leads the DSP group.
+"""
+
+import pytest
+
+from repro.eval.figures import figure7
+
+
+@pytest.fixture(scope="module")
+def fig7(harness, benchmark_holder=None):
+    return figure7(harness)
+
+
+def test_fig7_regenerates(benchmark, harness, emit):
+    data = benchmark.pedantic(lambda: figure7(harness), rounds=1, iterations=1)
+    emit("figure07", data.render())
+    assert len(data.rows) == 15
+
+
+def test_fig7_geomeans_in_paper_band(fig7):
+    # Paper: 3.3-3.8x runtime, 18.1-23.8x energy. Accept a 2x band.
+    assert 1.5 < fig7.summary["geomean_runtime_x"] < 7.0
+    assert 9.0 < fig7.summary["geomean_energy_x"] < 50.0
+
+
+def test_fig7_every_non_dl_benchmark_beats_cpu(fig7):
+    for name, domain, runtime_x, energy_x in fig7.rows:
+        if domain == "DL":
+            continue
+        assert runtime_x > 1.0, (name, runtime_x)
+
+
+def test_fig7_dl_loses_runtime_wins_energy(fig7):
+    dl_rows = [row for row in fig7.rows if row[1] == "DL"]
+    assert len(dl_rows) == 2
+    for name, _, runtime_x, energy_x in dl_rows:
+        assert runtime_x < 1.0, name  # paper: ~0.2x
+        assert energy_x > 1.0, name  # paper: 8-10x
+
+
+def test_fig7_energy_always_exceeds_runtime_gain(fig7):
+    for name, _, runtime_x, energy_x in fig7.rows:
+        assert energy_x > runtime_x, name
+
+
+def test_fig7_hexacopter_beats_mobilerobot(fig7):
+    by_name = {row[0]: row[2] for row in fig7.rows}
+    assert by_name["Hexacopter"] > by_name["MobileRobot"]
+
+
+def test_fig7_fft_leads_dsp_group(fig7):
+    by_name = {row[0]: row[2] for row in fig7.rows}
+    assert by_name["FFT-8192"] > by_name["DCT-1024"]

@@ -1,0 +1,52 @@
+"""Figure 8: runtime and performance-per-watt vs Titan Xp and Jetson.
+
+Paper headline: ~7.2x PPW over Titan Xp and ~1.7x over Jetson; Titan wins
+raw runtime on DCT and deep learning (accelerator ratio << 1); small
+batch-1 kernels (robotics) cannot utilise the discrete GPU.
+"""
+
+import pytest
+
+from repro.eval.figures import figure8
+
+
+@pytest.fixture(scope="module")
+def fig8(harness):
+    return figure8(harness)
+
+
+def test_fig8_regenerates(benchmark, harness, emit):
+    data = benchmark.pedantic(lambda: figure8(harness), rounds=1, iterations=1)
+    emit("figure08", data.render())
+    assert len(data.rows) == 15
+
+
+def test_fig8_ppw_geomeans_in_band(fig8):
+    # Paper: 7.2x (Titan), 1.7x (Jetson). Accept a 2x band.
+    assert 3.0 < fig8.summary["geomean_ppw_x_titan"] < 25.0
+    assert 0.8 < fig8.summary["geomean_ppw_x_jetson"] < 8.0
+
+
+def test_fig8_jetson_runtime_near_parity(fig8):
+    # Paper: ~1.2x geomean over Jetson.
+    assert 0.5 < fig8.summary["geomean_runtime_x_jetson"] < 3.0
+
+
+def test_fig8_titan_wins_raw_runtime_on_dct_and_dl(fig8):
+    by_name = {row[0]: row for row in fig8.rows}
+    for name in ("DCT-1024", "DCT-2048", "ResNet-18"):
+        assert by_name[name][1] < 0.5, name  # paper: ~0.0-0.1x
+
+
+def test_fig8_robotics_cannot_utilise_titan(fig8):
+    by_name = {row[0]: row for row in fig8.rows}
+    assert by_name["MobileRobot"][1] > 1.0
+    assert by_name["Hexacopter"][1] > 1.0
+
+
+def test_fig8_accelerators_win_ppw_except_dl(fig8):
+    for row in fig8.rows:
+        name, _, ppw_titan = row[0], row[1], row[2]
+        if name in ("ResNet-18", "MobileNet"):
+            continue
+        assert ppw_titan > 1.0, name

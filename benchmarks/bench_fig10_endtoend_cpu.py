@@ -1,0 +1,59 @@
+"""Figure 10: end-to-end runtime/energy over CPU per acceleration combo.
+
+Paper headline: accelerating *all* kernels beats the best single-domain
+acceleration by 1.85x (BrainStimul) / 2.06x (OptionPricing); every added
+kernel reduces Amdahl's burden.
+"""
+
+import pytest
+
+from repro.eval.figures import figure10
+
+
+@pytest.fixture(scope="module")
+def fig10(harness):
+    return figure10(harness)
+
+
+def test_fig10_regenerates(benchmark, harness, emit):
+    fig10a, fig10b = benchmark.pedantic(
+        lambda: figure10(harness), rounds=1, iterations=1
+    )
+    emit("figure10a", fig10a.render())
+    emit("figure10b", fig10b.render())
+    assert len(fig10a.rows) == 7  # all subsets of {FFT, LR, MPC}
+    assert len(fig10b.rows) == 3
+
+
+def test_fig10a_full_acceleration_is_best(fig10):
+    fig10a, _ = fig10
+    full = next(row for row in fig10a.rows if row[0] == "FFT+LR+MPC")
+    for combo, runtime_x, _ in fig10a.rows:
+        assert full[1] >= runtime_x * 0.99, combo
+
+
+def test_fig10a_amdahl_gap(fig10):
+    # Paper: 1.85x between full and the best single-domain acceleration.
+    fig10a, _ = fig10
+    assert 1.3 < fig10a.summary["full_vs_best_single_x"] < 3.0
+
+
+def test_fig10a_monotone_in_added_kernels(fig10):
+    fig10a, _ = fig10
+    by_combo = {row[0]: row[1] for row in fig10a.rows}
+    assert by_combo["FFT+MPC"] >= by_combo["FFT"] * 0.99
+    assert by_combo["FFT+LR+MPC"] >= by_combo["FFT+MPC"] * 0.99
+
+
+def test_fig10b_blks_dominates(fig10):
+    _, fig10b = fig10
+    by_combo = {row[0]: row[1] for row in fig10b.rows}
+    assert by_combo["BLKS"] > 1.0  # HyperStreams wins
+    assert by_combo["LR+BLKS"] > 1.0
+
+
+def test_fig10_communication_fractions(fig10):
+    # Paper: 23.4% / 17.0% runtime overhead from data movement.
+    fig10a, fig10b = fig10
+    assert 0.0 < fig10a.summary["comm_runtime_frac"] < 0.5
+    assert 0.0 < fig10b.summary["comm_runtime_frac"] < 0.5

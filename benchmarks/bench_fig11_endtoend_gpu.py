@@ -1,0 +1,54 @@
+"""Figure 11: end-to-end runtime/PPW vs both GPUs per acceleration combo.
+
+Paper headline: full cross-domain acceleration gives large PPW wins over
+the Titan Xp (8.3x BrainStimul, 9.2x OptionPricing) and moderate ones over
+the Jetson; runtime against the Titan is closer to parity.
+"""
+
+import pytest
+
+from repro.eval.figures import figure11
+
+
+@pytest.fixture(scope="module")
+def fig11(harness):
+    return figure11(harness)
+
+
+def test_fig11_regenerates(benchmark, harness, emit):
+    fig11a, fig11b = benchmark.pedantic(
+        lambda: figure11(harness), rounds=1, iterations=1
+    )
+    emit("figure11a", fig11a.render())
+    emit("figure11b", fig11b.render())
+    assert len(fig11a.rows) == 7
+    assert len(fig11b.rows) == 3
+
+
+def test_fig11a_full_ppw_beats_titan(fig11):
+    fig11a, _ = fig11
+    full = next(row for row in fig11a.rows if row[0] == "FFT+LR+MPC")
+    _, runtime_titan, ppw_titan, runtime_jetson, ppw_jetson = full
+    assert ppw_titan > 2.0  # paper: 8.3x
+    assert ppw_jetson > 1.0  # paper: 2.8x
+
+
+def test_fig11a_full_is_best_combo(fig11):
+    fig11a, _ = fig11
+    full = next(row for row in fig11a.rows if row[0] == "FFT+LR+MPC")
+    for row in fig11a.rows:
+        assert full[2] >= row[2] * 0.99, row[0]  # PPW vs Titan
+
+
+def test_fig11b_full_ppw(fig11):
+    _, fig11b = fig11
+    full = next(row for row in fig11b.rows if "+" in row[0])
+    assert full[2] > 2.0  # paper: 9.2x over Titan
+    assert full[4] > 0.8  # paper: 1.9x over Jetson
+
+
+def test_fig11_ppw_exceeds_runtime_ratio_vs_titan(fig11):
+    # The Titan burns 250 W: even where it is fast, it is inefficient.
+    fig11a, fig11b = fig11
+    for row in list(fig11a.rows) + list(fig11b.rows):
+        assert row[2] > row[1], row[0]

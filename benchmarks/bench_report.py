@@ -1,0 +1,30 @@
+"""Full-evaluation report: every table and figure in one artifact.
+
+Writes ``results/full_report.txt`` — the complete reproduced evaluation a
+reader can diff against the paper (EXPERIMENTS.md interprets it).
+"""
+
+from repro.eval.figures import all_figures
+from repro.eval.tables import all_tables
+
+
+def test_full_report(benchmark, harness, emit):
+    def build_report():
+        sections = [table.render() for table in all_tables().values()]
+        sections += [figure.render() for figure in all_figures(harness).values()]
+        return "\n\n".join(sections)
+
+    report = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    emit("full_report", report)
+    # Every table and figure is present.
+    for marker in ("Table I", "Table VI", "Figure 7", "Figure 13"):
+        assert marker in report
+
+
+def test_fig7_bar_chart(harness, emit):
+    from repro.eval.figures import figure7
+
+    data = figure7(harness)
+    chart = data.render_bars(column=2)  # runtime_x
+    emit("figure07_bars", chart)
+    assert chart.count("#") > 15

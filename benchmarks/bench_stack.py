@@ -1,0 +1,77 @@
+"""Benchmarks of the stack itself: compile and execute throughput.
+
+Not a paper figure — these keep the reproduction honest about its own
+performance (parser, builder, passes, lowering, interpreter) and guard
+against regressions in the hot paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.passes import default_pipeline
+from repro.pmlang.parser import parse
+from repro.srdfg import Executor, build
+from repro.targets import PolyMath, default_accelerators
+from repro.workloads import get_workload
+
+MPC_SOURCE = get_workload("MobileRobot").source()
+
+
+def test_parse_mpc(benchmark):
+    program = benchmark(parse, MPC_SOURCE)
+    assert "main" in program.components
+
+
+def test_build_mpc_srdfg(benchmark):
+    graph = benchmark(build, MPC_SOURCE, "main", "RBT")
+    assert graph.depth() == 2
+
+
+def test_pipeline_mpc(benchmark):
+    def run():
+        return default_pipeline().run(build(MPC_SOURCE, domain="RBT")).graph
+
+    graph = benchmark(run)
+    assert graph.compute_nodes() or graph.component_nodes()
+
+
+def test_full_compile_mpc(benchmark):
+    compiler = PolyMath(default_accelerators())
+
+    app = benchmark(compiler.compile, MPC_SOURCE, "main", "RBT")
+    assert "RBT" in app.programs
+
+
+def test_interpreter_matvec_throughput(benchmark):
+    source = (
+        "main(input float A[256][256], input float x[256], output float y[256]) {"
+        " index i[0:255], j[0:255]; y[j] = sum[i](A[j][i]*x[i]); }"
+    )
+    graph = build(source)
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(256, 256))
+    x = rng.normal(size=256)
+    executor = Executor(graph)
+
+    result = benchmark(executor.run, {"A": a, "x": x})
+    assert np.allclose(result.outputs["y"], a @ x)
+
+
+def test_interpreter_fft8192(benchmark):
+    workload = get_workload("FFT-8192")
+    graph = workload.build_graph()
+    executor = Executor(graph)
+    params = workload.params()
+    inputs = workload.inputs(0, None)
+
+    result = benchmark(executor.run, inputs, params)
+    spectrum = np.fft.fft(workload.signal)
+    assert np.allclose(result.outputs["fr"], spectrum.real, atol=1e-6)
+
+
+def test_build_resnet18(benchmark):
+    workload = get_workload("ResNet-18")
+    source = workload.source()
+
+    graph = benchmark.pedantic(build, args=(source, "main", "DL"), rounds=2, iterations=1)
+    assert len(graph.component_nodes()) > 40

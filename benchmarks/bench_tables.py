@@ -1,0 +1,63 @@
+"""Tables I-VI: regenerate every table of the paper."""
+
+from repro.eval.tables import table1, table2, table3, table4, table5, table6
+from repro.workloads import END_TO_END, SINGLE_DOMAIN
+
+
+def test_table1_keywords(benchmark, emit):
+    data = benchmark.pedantic(table1, rounds=1, iterations=1)
+    emit("table1", data.render())
+    keywords = {row[1] for row in data.rows}
+    assert "input" in keywords and "index" in keywords
+
+
+def test_table2_stack_comparison(benchmark, emit):
+    data = benchmark.pedantic(table2, rounds=1, iterations=1)
+    emit("table2", data.render())
+    # PolyMath covers exactly the five paper domains; GPPs cover all seven.
+    header = data.columns
+    polymath = header.index("PolyMath")
+    gpp = header.index("General-Purpose Processors")
+    assert sum(row[polymath] == "yes" for row in data.rows) == 5
+    assert sum(row[gpp] == "yes" for row in data.rows) == 7
+
+
+def test_table3_benchmarks(benchmark, emit):
+    data = benchmark.pedantic(table3, rounds=1, iterations=1)
+    emit("table3", data.render())
+    assert len(data.rows) == len(SINGLE_DOMAIN) == 15
+    loc_column = [row[4] for row in data.rows]
+    # PMLang programs stay compact: every workload under ~200 LOC, and the
+    # formula-style kernels (graph/DSP) under ~25.
+    assert all(loc < 200 for loc in loc_column)
+    by_name = {row[1]: row[4] for row in data.rows}
+    assert by_name["Twitter-BFS"] < 25
+    assert by_name["FFT-8192"] < 25
+
+
+def test_table4_end_to_end(benchmark, emit):
+    data = benchmark.pedantic(table4, rounds=1, iterations=1)
+    emit("table4", data.render())
+    assert len(data.rows) == len(END_TO_END) == 2
+    brain = next(row for row in data.rows if row[0] == "BrainStimul")
+    assert set(brain[2].split("+")) == {"DSP", "DA", "RBT"}
+
+
+def test_table5_accelerator_map(benchmark, emit):
+    data = benchmark.pedantic(table5, rounds=1, iterations=1)
+    emit("table5", data.render())
+    mapping = {row[0]: row[1] for row in data.rows}
+    assert "ROBOX" in mapping["RBT"]
+    assert "GRAPHICIONADO" in mapping["GA"]
+    assert "TABLA" in mapping["DA"]
+    assert "DECO" in mapping["DSP"]
+    assert "VTA" in mapping["DL"]
+
+
+def test_table6_hardware_specs(benchmark, emit):
+    data = benchmark.pedantic(table6, rounds=1, iterations=1)
+    emit("table6", data.render())
+    by_name = {row[0]: row for row in data.rows}
+    assert by_name["Xeon E-2176G"][2] == 80.0
+    assert by_name["Titan Xp"][2] == 250.0
+    assert by_name["ROBOX (ASIC)"][1] == 1.0  # GHz

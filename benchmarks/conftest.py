@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table or figure of the paper,
+asserts its qualitative shape (the claims catalogued in EXPERIMENTS.md),
+benchmarks its computation, and writes the rendered rows to
+``results/<id>.txt`` so a full run leaves the complete reproduced
+evaluation on disk.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.eval import Harness
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def harness():
+    """One shared harness: workload compilations are cached across figures."""
+    return Harness()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Write a rendered table/figure to results/ and echo it."""
+
+    def _emit(identifier, rendered):
+        path = results_dir / f"{identifier}.txt"
+        path.write_text(rendered + "\n")
+        print(f"\n{rendered}\n[written to {path}]")
+        return path
+
+    return _emit

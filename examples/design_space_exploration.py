@@ -1,0 +1,44 @@
+"""Design-space exploration: sizing VTA for ResNet-18 inference.
+
+With the stack's cost models in place, an architect can sweep hardware
+configurations for a fixed PMLang program and read off the
+runtime/energy Pareto frontier. This sweeps the VTA GEMM-array size (as
+a throughput scale) and clock frequency for batch-1 ResNet-18, showing
+where the design stops being compute-bound and extra MACs are wasted.
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from repro.eval.dse import explore, pareto, render
+from repro.targets import Vta
+
+
+def main():
+    grid = {
+        "throughput_scale": [0.25, 0.5, 1.0, 2.0, 4.0],
+        "frequency_hz": [100e6, 150e6, 300e6],
+    }
+    points = explore("ResNet-18", Vta, grid)
+    print(render(points, title="VTA design space for ResNet-18 (batch-1 inference)"))
+
+    frontier = pareto(points)
+    print(f"\nPareto frontier ({len(frontier)} of {len(points)} points):")
+    for point in frontier:
+        print(
+            f"  scale={point.config['throughput_scale']:<5g} "
+            f"f={point.config['frequency_hz'] / 1e6:.0f} MHz -> "
+            f"{point.seconds * 1e3:.3f} ms, {point.energy_j * 1e3:.3f} mJ"
+        )
+
+    best = min(points, key=lambda p: p.edp)
+    print(
+        f"\nbest energy-delay product: scale={best.config['throughput_scale']}, "
+        f"f={best.config['frequency_hz'] / 1e6:.0f} MHz "
+        f"(EDP {best.edp:.3e} J*s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Graph analytics: BFS as a vertex program on GRAPHICIONADO.
+
+Builds an R-MAT power-law graph, expresses one BFS relaxation sweep as a
+predicated group reduction in PMLang (Fig 6 of the paper), compiles it to
+GRAPHICIONADO's Process/Reduce/Apply pipeline IR, and iterates the sweep
+to convergence — checking against a networkx shortest-path oracle.
+
+Run with::
+
+    python examples/graph_analytics.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro import PolyMath, default_accelerators
+from repro.srdfg import Executor
+from repro.workloads import reference
+from repro.workloads.datasets import rmat_graph
+
+VERTICES = 512
+AVG_DEGREE = 12
+
+SOURCE = f"""
+main(param bin adj[{VERTICES}][{VERTICES}], state float dist[{VERTICES}],
+     output float frontier[{VERTICES}]) {{
+  index u[0:{VERTICES - 1}], v[0:{VERTICES - 1}];
+  float relax[{VERTICES}];
+  relax[v] = min[u: adj[u][v] == 1](dist[u] + 1.0);
+  frontier[v] = fmin(relax[v], dist[v]);
+  dist[v] = fmin(relax[v], dist[v]);
+}}
+"""
+
+
+def main():
+    graph_data = rmat_graph(VERTICES, AVG_DEGREE, seed=42)
+    print(
+        f"R-MAT graph: {graph_data.vertices} vertices, {graph_data.edges} edges "
+        f"(density {graph_data.edges / graph_data.vertices**2:.4f})"
+    )
+
+    accelerators = default_accelerators()
+    accelerators["GA"].data_hints.update(graph_data.hints)
+    compiler = PolyMath(accelerators)
+    app = compiler.compile(SOURCE, domain="GA")
+
+    pipeline = next(
+        fragment
+        for fragment in app.programs["GA"].fragments
+        if fragment.op == "pipeline"
+    )
+    print(f"GRAPHICIONADO pipeline stages: {' -> '.join(pipeline.attrs['stages'])}")
+
+    # Iterate relaxation sweeps until the distance vector fixes.
+    executor = Executor(app.graph)
+    dist = np.full(VERTICES, reference.UNREACHED)
+    dist[graph_data.source] = 0.0
+    state = {"dist": dist}
+    sweeps = 0
+    while True:
+        result = executor.run(params={"adj": graph_data.adjacency}, state=state)
+        sweeps += 1
+        if np.allclose(result.state["dist"], state["dist"]):
+            break
+        state = result.state
+    final = state["dist"]
+    reached = final < reference.UNREACHED
+    print(f"converged in {sweeps} sweeps; reached {reached.sum()}/{VERTICES} vertices")
+
+    # Oracle: networkx BFS levels from the same source.
+    oracle = nx.from_numpy_array(graph_data.adjacency, create_using=nx.DiGraph)
+    lengths = nx.single_source_shortest_path_length(oracle, graph_data.source)
+    expected = np.full(VERTICES, reference.UNREACHED)
+    for vertex, level in lengths.items():
+        expected[vertex] = level
+    assert np.allclose(final, expected), "BFS disagrees with networkx"
+    print("levels match networkx single_source_shortest_path_length")
+
+    # Per-sweep cost: the pipeline streams edges, not the dense lattice.
+    stats = accelerators["GA"].estimate(app.programs["GA"])
+    print(f"estimated sweep time on GRAPHICIONADO: {stats.seconds * 1e6:.2f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""PolyMath reproduction: a computational stack for cross-domain
+acceleration (HPCA 2021).
+
+Public API quick tour::
+
+    import repro
+
+    # Parse + build the srDFG of a PMLang program
+    graph = repro.build(source)
+
+    # Execute it functionally
+    result = repro.Executor(graph).run(inputs=..., params=..., state=...)
+
+    # Compile for the Table V accelerators and estimate performance
+    compiler = repro.PolyMath(repro.default_accelerators())
+    app = compiler.compile(source, domain="RBT")
+    outputs, stats, per_domain = app.run(inputs=..., params=...)
+
+    # Regenerate the paper's evaluation
+    print(repro.full_report())
+"""
+
+from .errors import (
+    ExecutionError,
+    GraphError,
+    LoweringError,
+    PMLangSemanticError,
+    PMLangSyntaxError,
+    PassError,
+    PolyMathError,
+    ShapeError,
+    TargetError,
+    WorkloadError,
+)
+from .eval import Harness, all_figures, all_tables, full_report
+from .hw import SoCRuntime, make_jetson, make_titan_xp, make_xeon
+from .pmlang import analyze, parse, tokenize
+from .passes import PassManager, default_pipeline, lower
+from .srdfg import Executor, SrDFG, build
+from .targets import PolyMath, default_accelerators
+from .workloads import get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExecutionError",
+    "Executor",
+    "GraphError",
+    "Harness",
+    "LoweringError",
+    "PMLangSemanticError",
+    "PMLangSyntaxError",
+    "PassError",
+    "PassManager",
+    "PolyMath",
+    "PolyMathError",
+    "ShapeError",
+    "SoCRuntime",
+    "SrDFG",
+    "TargetError",
+    "WorkloadError",
+    "all_figures",
+    "all_tables",
+    "analyze",
+    "build",
+    "default_accelerators",
+    "default_pipeline",
+    "full_report",
+    "get_workload",
+    "lower",
+    "make_jetson",
+    "make_titan_xp",
+    "make_xeon",
+    "parse",
+    "tokenize",
+    "workload_names",
+]

@@ -1,0 +1,233 @@
+"""Command-line interface for the PolyMath reproduction.
+
+Usage (``python -m repro <command>``)::
+
+    python -m repro workloads                 # list Table III/IV workloads
+    python -m repro check MobileRobot        # functional validation
+    python -m repro compile prog.pm --domain RBT   # show accelerator IR
+    python -m repro show prog.pm [--dot]     # srDFG (text or GraphViz)
+    python -m repro tables                   # Tables I-VI
+    python -m repro figures [fig7 ...]       # regenerate figures
+    python -m repro report                   # everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_workloads(args):
+    from .workloads import END_TO_END, SINGLE_DOMAIN, get_workload
+
+    print(f"{'name':15s} {'domain':7s} {'loc':>4s}  algorithm")
+    for name in SINGLE_DOMAIN + END_TO_END:
+        workload = get_workload(name)
+        print(
+            f"{workload.name:15s} {workload.domain:7s} "
+            f"{workload.pmlang_loc:4d}  {workload.algorithm}"
+        )
+    return 0
+
+
+def _cmd_check(args):
+    from .workloads import END_TO_END, SINGLE_DOMAIN, get_workload
+
+    names = args.names or list(SINGLE_DOMAIN + END_TO_END)
+    failures = 0
+    for name in names:
+        workload = get_workload(name)
+        check = workload.check_functional()
+        status = "ok" if check.ok else "FAIL"
+        print(f"{name:15s} {status:4s} max-rel-err={check.error:.2e} {check.detail}")
+        failures += 0 if check.ok else 1
+    return 1 if failures else 0
+
+
+def _load_source(path):
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _cmd_compile(args):
+    from .targets import PolyMath, default_accelerators
+
+    source = _load_source(args.source)
+    compiler = PolyMath(default_accelerators())
+    app = compiler.compile(source, domain=args.domain)
+    for domain, program in sorted(app.programs.items()):
+        print(f"=== {domain} -> {program.target} ({len(program)} fragments) ===")
+        print(program.listing())
+        print()
+    return 0
+
+
+def _cmd_profile(args):
+    from .targets import PolyMath, default_accelerators
+
+    source = _load_source(args.source)
+    compiler = PolyMath(default_accelerators())
+    app = compiler.compile(source, domain=args.domain)
+    print(app.profile_report(top=args.top))
+    return 0
+
+
+def _cmd_dse(args):
+    from .eval.dse import explore, pareto, render
+    from .targets import ACCELERATORS
+
+    cls = ACCELERATORS.get(args.accelerator)
+    if cls is None:
+        print(f"unknown accelerator {args.accelerator!r}; choose from "
+              f"{sorted(ACCELERATORS)}", file=sys.stderr)
+        return 2
+    grid = {
+        "throughput_scale": [float(v) for v in args.scales.split(",")],
+        "frequency_hz": [float(v) * 1e6 for v in args.freqs_mhz.split(",")],
+    }
+    points = explore(args.workload, cls, grid)
+    print(render(points, title=f"{args.accelerator} design space for {args.workload}"))
+    frontier = pareto(points)
+    print(f"\nPareto frontier: {len(frontier)} of {len(points)} points")
+    return 0
+
+
+def _cmd_save_ir(args):
+    from .targets import PolyMath, default_accelerators
+    from .targets.serialize import application_to_json
+
+    source = _load_source(args.source)
+    compiler = PolyMath(default_accelerators())
+    app = compiler.compile(source, domain=args.domain)
+    text = application_to_json(app, indent=2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote accelerator IR to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_show(args):
+    from .srdfg import build
+    from .srdfg.visualize import render_dot, render_text
+
+    source = _load_source(args.source)
+    graph = build(source, domain=args.domain)
+    if args.dot:
+        print(render_dot(graph))
+    else:
+        print(render_text(graph, max_depth=args.depth))
+    return 0
+
+
+def _cmd_tables(args):
+    from .eval import all_tables
+
+    for table in all_tables().values():
+        print(table.render())
+        print()
+    return 0
+
+
+_FIGURES = ("fig7", "fig8", "fig9", "fig10a", "fig10b", "fig11a", "fig11b",
+            "fig12", "fig13")
+
+
+def _cmd_figures(args):
+    from .eval import Harness, all_figures
+
+    wanted = args.ids or list(_FIGURES)
+    figures = all_figures(Harness())
+    for identifier in wanted:
+        figure = figures.get(identifier)
+        if figure is None:
+            print(f"unknown figure {identifier!r}; choose from {_FIGURES}",
+                  file=sys.stderr)
+            return 2
+        print(figure.render())
+        print()
+    return 0
+
+
+def _cmd_report(args):
+    from .eval import full_report
+
+    print(full_report(validate=args.validate))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PolyMath reproduction: cross-domain acceleration stack",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list benchmark workloads").set_defaults(
+        func=_cmd_workloads
+    )
+
+    check = sub.add_parser("check", help="functionally validate workloads")
+    check.add_argument("names", nargs="*", help="workload names (default: all)")
+    check.set_defaults(func=_cmd_check)
+
+    compile_cmd = sub.add_parser("compile", help="compile a PMLang file")
+    compile_cmd.add_argument("source", help="PMLang file path (- for stdin)")
+    compile_cmd.add_argument("--domain", default=None, help="top-level domain tag")
+    compile_cmd.set_defaults(func=_cmd_compile)
+
+    profile = sub.add_parser("profile", help="per-fragment cost profile")
+    profile.add_argument("source", help="PMLang file path (- for stdin)")
+    profile.add_argument("--domain", default=None)
+    profile.add_argument("--top", type=int, default=10)
+    profile.set_defaults(func=_cmd_profile)
+
+    dse = sub.add_parser("dse", help="design-space exploration sweep")
+    dse.add_argument("workload", help="workload name (e.g. ResNet-18)")
+    dse.add_argument("accelerator", help="accelerator name (e.g. vta)")
+    dse.add_argument("--scales", default="0.5,1,2", help="throughput scales")
+    dse.add_argument("--freqs-mhz", default="100,150,300", help="frequencies")
+    dse.set_defaults(func=_cmd_dse)
+
+    save_ir = sub.add_parser("save-ir", help="serialise compiled accelerator IR")
+    save_ir.add_argument("source", help="PMLang file path (- for stdin)")
+    save_ir.add_argument("--domain", default=None)
+    save_ir.add_argument("--out", default=None, help="output JSON path")
+    save_ir.set_defaults(func=_cmd_save_ir)
+
+    show = sub.add_parser("show", help="print a program's srDFG")
+    show.add_argument("source", help="PMLang file path (- for stdin)")
+    show.add_argument("--domain", default=None)
+    show.add_argument("--dot", action="store_true", help="emit GraphViz DOT")
+    show.add_argument("--depth", type=int, default=None, help="max recursion depth")
+    show.set_defaults(func=_cmd_show)
+
+    sub.add_parser("tables", help="regenerate Tables I-VI").set_defaults(
+        func=_cmd_tables
+    )
+
+    figures = sub.add_parser("figures", help="regenerate evaluation figures")
+    figures.add_argument("ids", nargs="*", help=f"subset of {_FIGURES}")
+    figures.set_defaults(func=_cmd_figures)
+
+    report = sub.add_parser("report", help="regenerate all tables and figures")
+    report.add_argument(
+        "--validate", action="store_true", help="also run functional checks"
+    )
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the PolyMath reproduction stack.
+
+Every user-facing error raised by the stack derives from
+:class:`PolyMathError` so applications can catch one type. The subclasses
+mirror the stack's phases: lexing/parsing, semantic analysis, srDFG
+construction, pass execution, lowering, and target compilation/simulation.
+"""
+
+from __future__ import annotations
+
+
+class PolyMathError(Exception):
+    """Base class for all errors raised by the repro stack."""
+
+
+class PMLangSyntaxError(PolyMathError):
+    """Lexical or grammatical error in a PMLang source program.
+
+    Carries the source line and column where the problem was detected so
+    tooling can point at the offending token.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", col {column}" if column is not None else "") + ")"
+        super().__init__(f"{message}{location}")
+
+
+class PMLangSemanticError(PolyMathError):
+    """Well-formed program that violates PMLang's static rules.
+
+    Examples: writing to an ``input`` argument, reading an ``output``,
+    instantiating an unknown component, or arity mismatches.
+    """
+
+
+class ShapeError(PolyMathError):
+    """Shapes could not be bound or unified at srDFG build time."""
+
+
+class GraphError(PolyMathError):
+    """Structural violation of srDFG invariants (dangling edges, cycles)."""
+
+
+class ExecutionError(PolyMathError):
+    """The srDFG interpreter was given bad values or an unsupported form."""
+
+
+class PassError(PolyMathError):
+    """A transformation pass failed or produced an invalid graph."""
+
+
+class LoweringError(PolyMathError):
+    """Algorithm 1 could not reduce a node to target-supported operations."""
+
+
+class TargetError(PolyMathError):
+    """Accelerator translation (Algorithm 2) or simulation failed."""
+
+
+class WorkloadError(PolyMathError):
+    """A workload was misconfigured or asked for an unknown benchmark."""

@@ -1,0 +1,127 @@
+"""Design-space exploration over accelerator parameters.
+
+The paper's related work points at Minerva/Aladdin-class DSE toolchains;
+with PolyMath's cost models in place, exploring an accelerator's
+configuration space for a given workload is a few lines: sweep unit
+counts/frequencies, recompile nothing (the program is fixed — only the
+hardware model changes), and collect runtime/energy/EDP per point.
+
+``explore`` returns every point; ``pareto`` filters to the
+runtime-vs-energy frontier — the view an architect actually reads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..hw.cost import RooflineModel
+from ..targets import PolyMath
+from ..workloads import get_workload
+
+
+@dataclass
+class DesignPoint:
+    """One hardware configuration and its measured metrics."""
+
+    config: Dict[str, float]
+    seconds: float
+    energy_j: float
+
+    @property
+    def edp(self):
+        """Energy-delay product, the classic DSE objective."""
+        return self.seconds * self.energy_j
+
+
+def _configured(accelerator_cls, overrides):
+    """Instantiate *accelerator_cls* with HardwareParams overrides.
+
+    ``throughput_scale`` is special-cased: it multiplies every op-class
+    throughput (a stand-in for "number of PEs").
+    """
+    accelerator = accelerator_cls()
+    params = accelerator.params
+    changes = dict(overrides)
+    scale = changes.pop("throughput_scale", None)
+    if scale is not None:
+        params = dataclasses.replace(
+            params,
+            throughput={
+                cls: rate * scale for cls, rate in params.throughput.items()
+            },
+        )
+    if changes:
+        params = dataclasses.replace(params, **changes)
+    accelerator.params = params
+    accelerator.model = RooflineModel(params)
+    return accelerator
+
+
+def explore(workload_name, accelerator_cls, grid, iterations=None):
+    """Sweep *grid* (name -> list of values) for one workload.
+
+    The program is compiled once (lowering depends only on the
+    accelerator's supported-op sets, which configuration changes do not
+    touch); each grid point re-prices the same fragment stream under its
+    own hardware model. Returns one :class:`DesignPoint` per point of the
+    cartesian product.
+    """
+    workload = get_workload(workload_name)
+    iterations = iterations or workload.perf_iterations
+    hints = workload.hints()
+
+    base = accelerator_cls()
+    base.data_hints.update(hints)
+    compiler = PolyMath({workload.domain: base})
+    app = compiler.compile(workload.source(), domain=workload.domain)
+    program = app.programs[workload.domain]
+
+    names = sorted(grid)
+    points = []
+    for values in itertools.product(*(grid[name] for name in names)):
+        config = dict(zip(names, values))
+        accelerator = _configured(accelerator_cls, config)
+        accelerator.data_hints.update(hints)
+        stats = accelerator.estimate(program).scaled(iterations)
+        points.append(
+            DesignPoint(config=config, seconds=stats.seconds, energy_j=stats.energy_j)
+        )
+    return points
+
+
+def pareto(points):
+    """Runtime-vs-energy Pareto frontier (both minimised)."""
+    frontier = []
+    for candidate in points:
+        dominated = any(
+            other.seconds <= candidate.seconds
+            and other.energy_j <= candidate.energy_j
+            and (other.seconds < candidate.seconds or other.energy_j < candidate.energy_j)
+            for other in points
+        )
+        if not dominated:
+            frontier.append(candidate)
+    frontier.sort(key=lambda point: point.seconds)
+    return frontier
+
+
+def render(points, title="design space"):
+    """Tabular rendering of design points."""
+    lines = [title]
+    header = None
+    for point in sorted(points, key=lambda p: p.edp):
+        if header is None:
+            header = sorted(point.config)
+            lines.append(
+                "  ".join(f"{name:>16s}" for name in header)
+                + f"  {'runtime':>12s}  {'energy':>12s}  {'EDP':>12s}"
+            )
+        lines.append(
+            "  ".join(f"{point.config[name]:16.3g}" for name in header)
+            + f"  {point.seconds * 1e3:9.3f} ms  {point.energy_j * 1e3:9.3f} mJ"
+            + f"  {point.edp:12.3e}"
+        )
+    return "\n".join(lines)

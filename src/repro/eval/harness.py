@@ -1,0 +1,217 @@
+"""Experiment harness: compiles, validates, and measures every benchmark.
+
+One :class:`BenchmarkRun` holds everything the figure generators need for
+one Table III workload: per-paper-scale-run PerfStats on the accelerator,
+the Xeon, both GPUs, and the modelled expert implementation. End-to-end
+applications additionally get per-combination SoC runs (Fig 10/11).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+from ..hw import SoCRuntime, make_jetson, make_titan_xp, make_xeon
+from ..hw.cost import PerfStats
+from ..targets import PolyMath, default_accelerators
+from ..workloads import END_TO_END, SINGLE_DOMAIN, get_workload
+from .optimal import estimate_expert, percent_of_optimal
+
+
+@dataclass
+class BenchmarkRun:
+    """All measurements for one workload at paper scale."""
+
+    name: str
+    domain: str
+    accelerator_names: Dict[str, str]
+    accel: PerfStats
+    expert: PerfStats
+    cpu: PerfStats
+    titan: PerfStats
+    jetson: PerfStats
+    functional_ok: Optional[bool] = None
+    functional_error: Optional[float] = None
+    pmlang_loc: int = 0
+
+    # -- derived metrics (the figures' y-axes) -------------------------------
+
+    @property
+    def runtime_vs_cpu(self):
+        return self.cpu.seconds / self.accel.seconds
+
+    @property
+    def energy_vs_cpu(self):
+        return self.cpu.energy_j / self.accel.energy_j
+
+    def runtime_vs(self, other):
+        return other.seconds / self.accel.seconds
+
+    def ppw_vs(self, other):
+        """Performance-per-watt improvement == energy ratio at equal work."""
+        return other.energy_j / self.accel.energy_j
+
+    @property
+    def percent_optimal(self):
+        return percent_of_optimal(self.accel, self.expert)
+
+
+def _geomean(values):
+    import numpy as np
+
+    array = np.asarray([value for value in values if value > 0], dtype=np.float64)
+    if array.size == 0:
+        return 0.0
+    return float(np.exp(np.mean(np.log(array))))
+
+
+class Harness:
+    """Compiles and measures workloads, with caching across figures."""
+
+    def __init__(self, validate=False):
+        self.validate = validate
+        self._runs: Dict[str, BenchmarkRun] = {}
+        self._apps: Dict[str, tuple] = {}
+
+    # -- compilation ----------------------------------------------------------
+
+    def compiled(self, name):
+        """(workload, CompiledApplication, accelerators) for *name*."""
+        if name not in self._apps:
+            workload = get_workload(name)
+            accelerators = default_accelerators(
+                getattr(workload, "accelerator_overrides", None)
+            )
+            hints = workload.hints()
+            for accelerator in accelerators.values():
+                if hasattr(accelerator, "data_hints"):
+                    accelerator.data_hints.update(hints)
+            compiler = PolyMath(accelerators)
+            app = compiler.compile(
+                workload.source(),
+                domain=workload.domain,
+                component_domains=getattr(workload, "component_domains", None),
+            )
+            self._apps[name] = (workload, app, accelerators)
+        return self._apps[name]
+
+    # -- single-workload measurement ------------------------------------------------
+
+    def run(self, name):
+        """Measure one workload; cached."""
+        if name in self._runs:
+            return self._runs[name]
+        workload, app, accelerators = self.compiled(name)
+        hints = workload.hints()
+        iterations = workload.perf_iterations
+
+        accel_once = PerfStats()
+        expert_once = PerfStats()
+        for domain, program in app.programs.items():
+            accelerator = accelerators[domain]
+            accel_once.add(accelerator.estimate(program))
+            expert_once.add(estimate_expert(accelerator, program))
+
+        cpu_once = make_xeon().estimate_graph(app.graph, hints)
+        titan_once = make_titan_xp().estimate_graph(app.graph, hints)
+        jetson_once = make_jetson().estimate_graph(app.graph, hints)
+
+        functional_ok = None
+        functional_error = None
+        if self.validate:
+            check = workload.check_functional(graph=app.graph)
+            functional_ok = check.ok
+            functional_error = check.error
+
+        run = BenchmarkRun(
+            name=name,
+            domain=workload.domain,
+            accelerator_names={
+                domain: accelerators[domain].name for domain in app.programs
+            },
+            accel=accel_once.scaled(iterations),
+            expert=expert_once.scaled(iterations),
+            cpu=cpu_once.scaled(iterations),
+            titan=titan_once.scaled(iterations),
+            jetson=jetson_once.scaled(iterations),
+            functional_ok=functional_ok,
+            functional_error=functional_error,
+            pmlang_loc=workload.pmlang_loc,
+        )
+        self._runs[name] = run
+        return run
+
+    def run_all(self, names=SINGLE_DOMAIN):
+        return [self.run(name) for name in names]
+
+    # -- end-to-end combination study (Fig 10/11/12) -----------------------------------
+
+    def end_to_end(self, name):
+        """Per-combination SoC measurements for one Table IV application.
+
+        Returns ``(combos, cpu_stats, gpu_stats)`` where *combos* maps a
+        tuple of kernel labels (e.g. ("FFT", "MPC")) to the SoCRunReport
+        of accelerating exactly those kernels.
+        """
+        workload, app, accelerators = self.compiled(name)
+        hints = workload.hints()
+        iterations = workload.perf_iterations
+        kernels_by_domain = workload.kernels_by_domain
+        domains = list(kernels_by_domain)
+        soc = SoCRuntime(accelerators)
+
+        combos = {}
+        for size in range(1, len(domains) + 1):
+            for subset in itertools.combinations(domains, size):
+                report = soc.execute(app, accelerated_domains=subset, hints=hints)
+                label = tuple(kernels_by_domain[domain] for domain in subset)
+                combos[label] = _ScaledReport(report, iterations)
+
+        cpu = make_xeon().estimate_graph(app.graph, hints).scaled(iterations)
+        titan = make_titan_xp().estimate_graph(app.graph, hints).scaled(iterations)
+        jetson = make_jetson().estimate_graph(app.graph, hints).scaled(iterations)
+
+        expert = PerfStats()
+        for domain, program in app.programs.items():
+            expert.add(estimate_expert(accelerators[domain], program))
+        # The expert end-to-end implementation still pays cross-domain DMA.
+        full = soc.execute(app, hints=hints)
+        expert.add(full.communication)
+        expert = expert.scaled(iterations)
+
+        return combos, {
+            "cpu": cpu,
+            "titan": titan,
+            "jetson": jetson,
+            "expert": expert,
+        }
+
+
+@dataclass
+class _ScaledReport:
+    """SoCRunReport scaled to paper iterations."""
+
+    total: PerfStats
+    communication: PerfStats
+    per_domain: Dict[str, PerfStats] = field(default_factory=dict)
+
+    def __init__(self, report, iterations):
+        self.total = report.total.scaled(iterations)
+        self.communication = report.communication.scaled(iterations)
+        self.per_domain = {
+            domain: stats.scaled(iterations)
+            for domain, stats in report.per_domain.items()
+        }
+
+    @property
+    def communication_fraction(self):
+        if self.total.seconds <= 0:
+            return 0.0
+        return self.communication.seconds / self.total.seconds
+
+
+def geomean(values):
+    """Public geomean used by figure code."""
+    return _geomean(values)

@@ -1,0 +1,82 @@
+"""Model of the "optimal" hand-tuned native-stack implementations (Fig 9).
+
+The paper compares PolyMath-translated binaries against programs written
+by experts directly in each accelerator's native stack. We model the
+expert advantage through three concrete mechanisms, all of which are
+structural properties of the translated program rather than per-benchmark
+fudge factors:
+
+1. **movement fusion** — pure ``copy``/``pad`` fragments (PolyMath's
+   materialised intermediate hand-offs) are folded into their consumers by
+   an expert, so their kernel time disappears (their traffic does not);
+2. **layout tuning** — microarchitectural penalty terms the backends
+   charge for translated code (DECO's stage rebalancing, VTA's tile
+   underfill) vanish: an expert shapes the computation for the machine;
+3. **kernel fusion** — an expert fuses several logical statements into
+   one scheduled kernel, amortising per-kernel dispatch by
+   ``EXPERT_FUSION_FACTOR``.
+
+These mechanisms reproduce the paper's qualitative Fig 9 profile: DL is
+~100% (srDFG -> VTA conversion is already direct), robotics suffers from
+copy-heavy unique data semantics, DECO pays the balance penalty, and tiny
+workloads are dispatch-bound.
+"""
+
+from __future__ import annotations
+
+from ..hw.cost import PerfStats
+
+#: How many translated kernels an expert fuses into one dispatch.
+EXPERT_FUSION_FACTOR = 2
+
+#: Penalty breakdown labels an expert can tune against, and the fraction
+#: of each penalty hand-tuning recovers. DECO's balanced-DFG requirement
+#: and VTA's tile geometry are *hardware* constraints: an expert reshapes
+#: the computation to fit them better, but cannot erase them.
+_TUNABLE_PENALTIES = ("rebalance", "tile_underfill", "pipeline_fill")
+PENALTY_RECOVERY = 0.5
+
+#: Fragment ops an expert folds away entirely.
+_MOVEMENT_OPS = ("copy", "scalar_dfg[copy]")
+
+
+def expert_fragment_cost(accelerator, fragment):
+    """Cost of *fragment* as an expert-tuned kernel (may be empty)."""
+    if fragment.op in _MOVEMENT_OPS:
+        # Folded into the consumer: only the operand traffic remains.
+        nbytes = fragment.attrs.get("dram_bytes", 0)
+        if nbytes:
+            return accelerator.model.transfer_cost(nbytes, label="fused_copy")
+        return PerfStats()
+    stats = accelerator.fragment_cost(fragment)
+    for label in _TUNABLE_PENALTIES:
+        penalty = stats.breakdown.get(label, 0.0)
+        recovered = penalty * PENALTY_RECOVERY
+        stats.breakdown[label] = penalty - recovered
+        stats.seconds -= recovered
+    return stats
+
+
+def estimate_expert(accelerator, program):
+    """PerfStats of the expert-written native-stack program."""
+    stats = PerfStats()
+    dispatches = 0
+    for fragment in program.fragments:
+        cost = expert_fragment_cost(accelerator, fragment)
+        dispatches += cost.kernels
+        stats.add(cost)
+    # Fused dispatch: keep 1/EXPERT_FUSION_FACTOR of the per-kernel
+    # dispatch overhead the translated program paid.
+    overhead = accelerator.params.dispatch_overhead_s
+    if overhead > 0 and dispatches > 1:
+        fused = -overhead * dispatches * (1.0 - 1.0 / EXPERT_FUSION_FACTOR)
+        stats.seconds = max(stats.seconds + fused, 1e-12)
+    # Energy follows the shortened runtime (same ops/bytes, less idle).
+    return stats
+
+
+def percent_of_optimal(translated, expert):
+    """Fig 9's metric: expert runtime over translated runtime, as %."""
+    if translated.seconds <= 0:
+        return 100.0
+    return 100.0 * min(1.0, expert.seconds / translated.seconds)

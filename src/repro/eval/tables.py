@@ -1,0 +1,200 @@
+"""Regeneration of the paper's tables (Tables I-VI)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..hw import JETSON_XAVIER_PARAMS, TITAN_XP_PARAMS, XEON_PARAMS
+from ..pmlang.tokens import DOMAINS, ELEMENT_TYPES, TYPE_MODIFIERS
+from ..targets import ACCELERATORS, DEFAULT_BY_DOMAIN
+from ..workloads import END_TO_END, SINGLE_DOMAIN, get_workload
+
+
+@dataclass
+class TableData:
+    table: str
+    caption: str
+    columns: Tuple[str, ...]
+    rows: List[tuple] = field(default_factory=list)
+
+    def render(self):
+        widths = [
+            max(len(str(column)), *(len(str(row[i])) for row in self.rows))
+            if self.rows
+            else len(str(column))
+            for i, column in enumerate(self.columns)
+        ]
+        lines = [f"{self.table}: {self.caption}"]
+        header = "  ".join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def table1():
+    """Table I: PMLang keywords and definitions."""
+    data = TableData(
+        table="Table I",
+        caption="A subset of PMLang's keywords and definitions",
+        columns=("construct", "keyword", "description"),
+    )
+    data.rows = [
+        ("Component", "<name>(...)", "Takes input, produces output, reads/writes state"),
+        ("Domain", ", ".join(DOMAINS), "Specifies a component's target domain"),
+        ("Type Modifier", "input", "Flow of data, read-only within a component scope"),
+        ("Type Modifier", "output", "Flow of data, written within a component scope"),
+        ("Type Modifier", "param", "Constant parameterising a component"),
+        ("Type Modifier", "state", "Read/write data preserved across invocations"),
+        ("Index Type", "index", "Specifies ranges of operations"),
+        ("Types", ", ".join(ELEMENT_TYPES), "Element types for variable declarations"),
+        ("Reduction", "reduction", "User-defined group reduction operator"),
+    ]
+    return data
+
+
+#: Table II support matrix: stack -> set of supported domains.
+STACK_SUPPORT = {
+    "General-Purpose Processors": {
+        "Robotics", "Graph Analytics", "DSP", "Data Analytics", "Deep Learning",
+        "Genomics", "SAT Solvers",
+    },
+    "Graphicionado": {"Graph Analytics"},
+    "Darwin": {"Genomics"},
+    "DNNWeaver": {"Deep Learning"},
+    "TVM": {"Data Analytics", "Deep Learning"},
+    "TABLA": {"Data Analytics"},
+    "RoboX": {"Robotics"},
+    "DeCO": {"DSP"},
+    "BCP Acc": {"SAT Solvers"},
+    "PolyMath": {"Robotics", "Graph Analytics", "DSP", "Data Analytics", "Deep Learning"},
+}
+
+TABLE2_DOMAINS = (
+    "Robotics",
+    "Graph Analytics",
+    "DSP",
+    "Data Analytics",
+    "Deep Learning",
+    "Genomics",
+    "SAT Solvers",
+)
+
+
+def table2():
+    """Table II: comparison of computational stacks."""
+    data = TableData(
+        table="Table II",
+        caption="A comparison of computational stacks",
+        columns=("domain",) + tuple(STACK_SUPPORT),
+    )
+    for domain in TABLE2_DOMAINS:
+        data.rows.append(
+            (domain,)
+            + tuple(
+                "yes" if domain in supported else "no"
+                for supported in STACK_SUPPORT.values()
+            )
+        )
+    return data
+
+
+def table3():
+    """Table III: benchmarks, configs, and PMLang LOC (measured)."""
+    data = TableData(
+        table="Table III",
+        caption="Benchmarks and workloads used to evaluate PolyMath",
+        columns=("domain", "benchmark", "algorithm", "config", "pmlang_loc"),
+    )
+    for name in SINGLE_DOMAIN:
+        workload = get_workload(name)
+        data.rows.append(
+            (
+                workload.domain,
+                workload.name,
+                workload.algorithm,
+                workload.config,
+                workload.pmlang_loc,
+            )
+        )
+    return data
+
+
+def table4():
+    """Table IV: algorithmic composition of end-to-end applications."""
+    data = TableData(
+        table="Table IV",
+        caption="Algorithmic composition of end-to-end applications",
+        columns=("benchmark", "kernels", "domains", "config", "pmlang_loc"),
+    )
+    for name in END_TO_END:
+        workload = get_workload(name)
+        data.rows.append(
+            (
+                workload.name,
+                "+".join(workload.kernels_by_domain.values()),
+                "+".join(workload.kernels_by_domain),
+                workload.config,
+                workload.pmlang_loc,
+            )
+        )
+    return data
+
+
+#: Baseline frameworks per domain (Table V's right column).
+BASELINE_FRAMEWORKS = {
+    "RBT": "ACADO / cuBLAS",
+    "GA": "Intel GraphMat / Enterprise",
+    "DA": "MLPack / OpenBLAS / CUDA",
+    "DSP": "FFTW3 / cuFFT / NVIDIA-DCT",
+    "DL": "TVM / TensorFlow",
+}
+
+
+def table5():
+    """Table V: domains, accelerators, and baseline frameworks."""
+    data = TableData(
+        table="Table V",
+        caption="Domains and accelerators used for evaluations",
+        columns=("domain", "polymath_accelerator", "baseline_framework"),
+    )
+    for domain, accelerator in DEFAULT_BY_DOMAIN.items():
+        cls = ACCELERATORS[accelerator]
+        data.rows.append((domain, cls.params.name, BASELINE_FRAMEWORKS[domain]))
+    return data
+
+
+def table6():
+    """Table VI: hardware platform specifications."""
+    data = TableData(
+        table="Table VI",
+        caption="CPU, FPGA, ASIC, and GPU specifications",
+        columns=("platform", "frequency_GHz", "power_W", "dram_GBps", "peak_mul_ops_per_cycle"),
+    )
+    platforms = [XEON_PARAMS, TITAN_XP_PARAMS, JETSON_XAVIER_PARAMS] + [
+        cls.params for cls in ACCELERATORS.values()
+    ]
+    for params in platforms:
+        data.rows.append(
+            (
+                params.name,
+                round(params.frequency_hz / 1e9, 3),
+                params.power_w,
+                round(params.dram_bw / 1e9, 1),
+                params.throughput.get("mul", 0),
+            )
+        )
+    return data
+
+
+def all_tables():
+    return {
+        "table1": table1(),
+        "table2": table2(),
+        "table3": table3(),
+        "table4": table4(),
+        "table5": table5(),
+        "table6": table6(),
+    }

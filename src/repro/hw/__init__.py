@@ -1,0 +1,31 @@
+"""Hardware models: cost framework, CPU/GPU baselines, SoC runtime."""
+
+from .cost import HardwareParams, PerfStats, RooflineModel
+from .cpu import BaselinePlatform, CPU_EFFICIENCY, XEON_PARAMS, make_xeon
+from .gpu import (
+    JETSON_EFFICIENCY,
+    JETSON_XAVIER_PARAMS,
+    TITAN_EFFICIENCY,
+    TITAN_XP_PARAMS,
+    make_jetson,
+    make_titan_xp,
+)
+from .soc import SoCRunReport, SoCRuntime
+
+__all__ = [
+    "BaselinePlatform",
+    "CPU_EFFICIENCY",
+    "HardwareParams",
+    "JETSON_EFFICIENCY",
+    "JETSON_XAVIER_PARAMS",
+    "PerfStats",
+    "RooflineModel",
+    "SoCRunReport",
+    "SoCRuntime",
+    "TITAN_EFFICIENCY",
+    "TITAN_XP_PARAMS",
+    "XEON_PARAMS",
+    "make_jetson",
+    "make_titan_xp",
+    "make_xeon",
+]

@@ -1,0 +1,169 @@
+"""Multi-accelerator SoC runtime (§V-A3 of the paper).
+
+All accelerators are cascaded as a single system-on-chip with shared DRAM
+and a host. "A light-weight manager executes on the host, ensuring data
+dependencies between different accelerators and initiating DMA transfers
+between DRAM and local accelerator memory."
+
+The runtime composes a compiled application's per-domain programs
+sequentially along the srDFG's dataflow order (the end-to-end pipelines in
+the paper — FFT -> LR -> MPC — are chains, so sequential composition with
+DMA between stages matches the hardware), charging:
+
+* each fragment to its domain's accelerator model;
+* each cross-domain edge to a DMA transfer plus a fixed host-manager
+  dispatch cost;
+* kernels mapped to the *host* (non-accelerated domains in partial
+  acceleration studies) to the CPU baseline model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..srdfg.graph import COMPUTE
+from .cost import DRAM_PJ_PER_BYTE, PerfStats
+from .cpu import BaselinePlatform, make_xeon
+
+#: Host-manager cost of initiating one DMA transfer.
+HOST_DMA_DISPATCH_S = 5e-6
+#: Shared-DRAM DMA bandwidth between accelerator local memories.
+SOC_DMA_BW = 16e9
+
+
+@dataclass
+class SoCRunReport:
+    """Per-domain and total accounting for one SoC execution."""
+
+    total: PerfStats
+    per_domain: Dict[str, PerfStats] = field(default_factory=dict)
+    communication: PerfStats = field(default_factory=PerfStats)
+
+    @property
+    def communication_fraction(self):
+        if self.total.seconds <= 0:
+            return 0.0
+        return self.communication.seconds / self.total.seconds
+
+    @property
+    def pipelined_seconds(self):
+        """Steady-state initiation interval under software pipelining.
+
+        The end-to-end applications are chains (FFT -> LR -> MPC); run as
+        a pipeline across invocations, throughput is bounded by the
+        slowest stage rather than the sum. Latency of one result is still
+        ``total.seconds``; this is the per-result cost at steady state.
+        """
+        if not self.per_domain:
+            return self.total.seconds
+        slowest = max(stats.seconds for stats in self.per_domain.values())
+        return max(slowest, self.communication.seconds)
+
+    @property
+    def pipeline_speedup(self):
+        """Throughput gain of pipelining over sequential execution."""
+        if self.pipelined_seconds <= 0:
+            return 1.0
+        return self.total.seconds / self.pipelined_seconds
+
+
+class SoCRuntime:
+    """Schedules a compiled application across accelerators + host."""
+
+    def __init__(self, accelerators, host=None):
+        self.accelerators = dict(accelerators)
+        self.host = host or make_xeon()
+
+    def execute(self, compiled, accelerated_domains=None, hints=None):
+        """Account one invocation of *compiled* on the SoC.
+
+        *accelerated_domains* restricts which domains actually run on
+        their accelerator; the rest fall back to the host CPU (this is how
+        Fig 10/11's single-domain vs cross-domain combinations are
+        produced). Returns :class:`SoCRunReport`.
+        """
+        hints = hints or {}
+        if accelerated_domains is None:
+            accelerated_domains = set(self.accelerators)
+        accelerated_domains = set(accelerated_domains)
+
+        total = PerfStats()
+        per_domain: Dict[str, PerfStats] = {}
+        communication = PerfStats()
+
+        graph = compiled.graph
+        for domain, program in compiled.programs.items():
+            if domain in accelerated_domains:
+                accelerator = self.accelerators[domain]
+                stats = PerfStats()
+                for fragment in program.fragments:
+                    if fragment.attrs.get("crossing"):
+                        # A logical transfer appears as a store (producer
+                        # side) plus a load (consumer side); the host
+                        # dispatch is paid once, on the load.
+                        dma = self._dma_cost(
+                            fragment.attrs.get("nbytes", 0),
+                            dispatch=fragment.op == "load",
+                        )
+                        stats.add(dma)
+                        communication.add(dma)
+                    else:
+                        stats.add(accelerator.fragment_cost(fragment))
+            else:
+                stats = self._host_domain_cost(graph, domain, hints)
+                # The host still pays boundary transfers into/out of the
+                # *accelerated* portion of the pipeline; host-to-host
+                # hand-offs are plain memory and charge nothing extra.
+                for fragment in program.fragments:
+                    if not fragment.attrs.get("crossing"):
+                        continue
+                    other = fragment.attrs.get("from_domain") or fragment.attrs.get(
+                        "to_domain"
+                    )
+                    if other in accelerated_domains:
+                        dma = self._dma_cost(
+                            fragment.attrs.get("nbytes", 0),
+                            dispatch=fragment.op == "load",
+                        )
+                        stats.add(dma)
+                        communication.add(dma)
+            per_domain[domain] = stats
+            total.add(stats)
+
+        return SoCRunReport(
+            total=total, per_domain=per_domain, communication=communication
+        )
+
+    def _dma_cost(self, nbytes, dispatch=True):
+        seconds = (HOST_DMA_DISPATCH_S if dispatch else 0.0) + nbytes / SOC_DMA_BW
+        energy = nbytes * DRAM_PJ_PER_BYTE * 1e-12
+        energy += 2.0 * seconds  # host manager ~2 W while orchestrating
+        return PerfStats(
+            seconds=seconds,
+            dram_bytes=int(nbytes),
+            energy_j=energy,
+            breakdown={"dma": seconds},
+        )
+
+    def _host_domain_cost(self, graph, domain, hints):
+        """Cost of running one domain's kernels on the host CPU."""
+        stats = PerfStats()
+        for node in graph.nodes:
+            if node.kind != COMPUTE:
+                continue
+            if (node.domain or graph.domain) != domain:
+                continue
+            descriptor = node.attrs.get("descriptor")
+            if descriptor is None:
+                continue
+            op_scale = hints.get("op_scale", 1.0)
+            model = self.host._model(domain)
+            from .cpu import _node_bytes
+
+            dram, onchip = _node_bytes(graph, node, op_scale)
+            op_counts = {
+                cls: count * op_scale for cls, count in descriptor.op_counts.items()
+            }
+            stats.add(model.kernel_cost(op_counts, dram, onchip, label=node.name))
+        return stats

@@ -1,0 +1,37 @@
+"""Modular compilation passes over srDFGs (§IV of the paper)."""
+
+from .algebraic import AlgebraicCombination, AlgebraicSimplification
+from .base import Pass
+from .constant_folding import ConstantFolding
+from .copy_propagation import CopyPropagation
+from .cse import CommonSubexpressionElimination
+from .dead_code import DeadCodeElimination
+from .lowering import lower, supported_summary
+from .manager import PassManager, PipelineResult
+
+__all__ = [
+    "AlgebraicCombination",
+    "AlgebraicSimplification",
+    "CommonSubexpressionElimination",
+    "CopyPropagation",
+    "ConstantFolding",
+    "DeadCodeElimination",
+    "Pass",
+    "PassManager",
+    "PipelineResult",
+    "lower",
+    "supported_summary",
+]
+
+
+def default_pipeline():
+    """The stack's standard target-independent pipeline."""
+    return PassManager(
+        [
+            ConstantFolding(),
+            AlgebraicSimplification(),
+            CopyPropagation(),
+            CommonSubexpressionElimination(),
+            DeadCodeElimination(),
+        ]
+    )

@@ -1,0 +1,448 @@
+"""Algebraic simplification and the paper's *algebraic combination* pass.
+
+§IV-B highlights that simultaneous access to all granularities lets
+PolyMath find simplifications "which span multiple levels of granularity":
+the worked example is two matrix-vector products whose results are added —
+they can be fused into a single operation by concatenating their inputs.
+:class:`AlgebraicCombination` implements exactly that rewrite on srDFGs:
+an ``Indexed`` reference whose producer is a single-consumer ``matvec``
+node is replaced by the producer's reduction expression inline, collapsing
+two nodes (two granularities) into one fused compute node.
+
+:class:`AlgebraicSimplification` is the traditional flat-IR companion:
+identity/annihilator rewrites (``x*1``, ``x+0``, ``x*0``, ...) inside each
+statement.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..pmlang import ast_nodes as ast
+from ..srdfg import opclass
+from ..srdfg.graph import COMPUTE
+from .base import Pass
+
+
+def _is_literal(expr, value=None):
+    if not isinstance(expr, ast.Literal) or not isinstance(expr.value, (int, float)):
+        return False
+    return value is None or expr.value == value
+
+
+def simplify_expr(expr):
+    """Apply identity/annihilator rewrites bottom-up; returns new expr."""
+    if expr is None or isinstance(expr, (ast.Literal, ast.Name)):
+        return expr
+    if isinstance(expr, ast.Indexed):
+        return ast.Indexed(
+            base=expr.base,
+            indices=tuple(simplify_expr(index) for index in expr.indices),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.UnaryOp):
+        operand = simplify_expr(expr.operand)
+        if (
+            expr.op == "-"
+            and isinstance(operand, ast.UnaryOp)
+            and operand.op == "-"
+        ):
+            return operand.operand  # --x -> x
+        return ast.UnaryOp(op=expr.op, operand=operand, line=expr.line)
+    if isinstance(expr, ast.BinOp):
+        left = simplify_expr(expr.left)
+        right = simplify_expr(expr.right)
+        if expr.op == "+":
+            if _is_literal(left, 0):
+                return right
+            if _is_literal(right, 0):
+                return left
+        elif expr.op == "-":
+            if _is_literal(right, 0):
+                return left
+        elif expr.op == "*":
+            if _is_literal(left, 1):
+                return right
+            if _is_literal(right, 1):
+                return left
+            if _is_literal(left, 0) or _is_literal(right, 0):
+                return ast.Literal(value=0, line=expr.line)
+        elif expr.op == "/":
+            if _is_literal(right, 1):
+                return left
+        elif expr.op == "^":
+            if _is_literal(right, 1):
+                return left
+        return ast.BinOp(op=expr.op, left=left, right=right, line=expr.line)
+    if isinstance(expr, ast.Ternary):
+        return ast.Ternary(
+            cond=simplify_expr(expr.cond),
+            then=simplify_expr(expr.then),
+            other=simplify_expr(expr.other),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(
+            func=expr.func,
+            args=tuple(simplify_expr(arg) for arg in expr.args),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.ReductionCall):
+        return ast.ReductionCall(
+            op=expr.op,
+            indices=tuple(
+                ast.ReductionIndex(
+                    name=spec.name,
+                    predicate=simplify_expr(spec.predicate)
+                    if spec.predicate is not None
+                    else None,
+                )
+                for spec in expr.indices
+            ),
+            arg=simplify_expr(expr.arg),
+            line=expr.line,
+        )
+    return expr
+
+
+class AlgebraicSimplification(Pass):
+    """Identity/annihilator rewrites inside every compute statement."""
+
+    name = "algebraic-simplification"
+
+    def run(self, graph):
+        reductions = getattr(graph, "reductions", {})
+        for node in graph.compute_nodes():
+            stmt = node.attrs["stmt"]
+            simplified = ast.Assign(
+                target=stmt.target,
+                target_indices=tuple(simplify_expr(i) for i in stmt.target_indices),
+                value=simplify_expr(stmt.value),
+                line=stmt.line,
+            )
+            node.attrs["stmt"] = simplified
+            node.attrs["descriptor"] = opclass.classify(
+                simplified, node.attrs.get("index_ranges", {}), reductions
+            )
+            node.name = node.attrs["descriptor"].opname
+        return graph
+
+
+# ---------------------------------------------------------------------------
+# Algebraic combination (multi-granularity fusion)
+# ---------------------------------------------------------------------------
+
+
+def _rename_indices(expr, mapping):
+    """Copy *expr* with index-variable Names renamed per *mapping*."""
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Literal):
+        return expr
+    if isinstance(expr, ast.Name):
+        if expr.id in mapping:
+            return ast.Name(id=mapping[expr.id], line=expr.line)
+        return expr
+    if isinstance(expr, ast.Indexed):
+        return ast.Indexed(
+            base=expr.base,
+            indices=tuple(_rename_indices(i, mapping) for i in expr.indices),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(
+            op=expr.op, operand=_rename_indices(expr.operand, mapping), line=expr.line
+        )
+    if isinstance(expr, ast.BinOp):
+        return ast.BinOp(
+            op=expr.op,
+            left=_rename_indices(expr.left, mapping),
+            right=_rename_indices(expr.right, mapping),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.Ternary):
+        return ast.Ternary(
+            cond=_rename_indices(expr.cond, mapping),
+            then=_rename_indices(expr.then, mapping),
+            other=_rename_indices(expr.other, mapping),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(
+            func=expr.func,
+            args=tuple(_rename_indices(a, mapping) for a in expr.args),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.ReductionCall):
+        return ast.ReductionCall(
+            op=expr.op,
+            indices=tuple(
+                ast.ReductionIndex(
+                    name=mapping.get(spec.name, spec.name),
+                    predicate=_rename_indices(spec.predicate, mapping),
+                )
+                for spec in expr.indices
+            ),
+            arg=_rename_indices(expr.arg, mapping),
+            line=expr.line,
+        )
+    return expr
+
+
+def _fresh_name(base, used):
+    for counter in itertools.count():
+        candidate = f"{base}_f{counter}"
+        if candidate not in used:
+            return candidate
+
+
+def _rename_vars(expr, mapping):
+    """Copy *expr* renaming variable references (Indexed bases and bare
+    Names) per *mapping*; index variables are renamed by ``_rename_indices``
+    and must not appear in *mapping*."""
+    if expr is None or isinstance(expr, ast.Literal):
+        return expr
+    if isinstance(expr, ast.Name):
+        if expr.id in mapping:
+            return ast.Name(id=mapping[expr.id], line=expr.line)
+        return expr
+    if isinstance(expr, ast.Indexed):
+        return ast.Indexed(
+            base=mapping.get(expr.base, expr.base),
+            indices=tuple(_rename_vars(i, mapping) for i in expr.indices),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(
+            op=expr.op, operand=_rename_vars(expr.operand, mapping), line=expr.line
+        )
+    if isinstance(expr, ast.BinOp):
+        return ast.BinOp(
+            op=expr.op,
+            left=_rename_vars(expr.left, mapping),
+            right=_rename_vars(expr.right, mapping),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.Ternary):
+        return ast.Ternary(
+            cond=_rename_vars(expr.cond, mapping),
+            then=_rename_vars(expr.then, mapping),
+            other=_rename_vars(expr.other, mapping),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(
+            func=expr.func,
+            args=tuple(_rename_vars(a, mapping) for a in expr.args),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.ReductionCall):
+        return ast.ReductionCall(
+            op=expr.op,
+            indices=tuple(
+                ast.ReductionIndex(
+                    name=spec.name,
+                    predicate=_rename_vars(spec.predicate, mapping),
+                )
+                for spec in expr.indices
+            ),
+            arg=_rename_vars(expr.arg, mapping),
+            line=expr.line,
+        )
+    return expr
+
+
+#: Producer op names eligible for inlining into an additive consumer.
+_FUSABLE_PRODUCERS = ("matvec", "dot", "contract")
+
+
+class AlgebraicCombination(Pass):
+    """Fuse single-consumer matvec producers into additive consumers.
+
+    For a consumer statement whose value contains ``t[k]`` where ``t`` is
+    produced by a non-partial single-consumer ``matvec``-class node, the
+    producer's reduction expression is substituted in place of ``t[k]``
+    (with its free index renamed to ``k`` and its bound indices
+    freshened), its input edges are rerouted to the consumer, and the
+    producer node is deleted. The result is the paper's concatenated-input
+    matrix-vector operation expressed as one fused node.
+    """
+
+    name = "algebraic-combination"
+
+    def run(self, graph):
+        changed = True
+        while changed:
+            changed = False
+            for node in list(graph.compute_nodes()):
+                if self._try_fuse_into(graph, node):
+                    changed = True
+                    break
+        return graph
+
+    # -- helpers -------------------------------------------------------------
+
+    def _producers_by_name(self, graph, node):
+        producers = {}
+        for edge in graph.in_edges(node):
+            producers[edge.md.name] = edge.src
+        return producers
+
+    def _single_consumer(self, graph, producer, consumer):
+        for edge in graph.out_edges(producer):
+            if edge.dst.uid != consumer.uid:
+                return False
+        return True
+
+    def _try_fuse_into(self, graph, node):
+        stmt = node.attrs["stmt"]
+        producers = self._producers_by_name(graph, node)
+        candidates = self._fusable_references(graph, node, stmt.value, producers)
+        if not candidates:
+            return False
+
+        reference, producer = candidates[0]
+        producer_stmt = producer.attrs["stmt"]
+
+        # Build the renaming: producer free index -> consumer subscript
+        # name; producer bound indices -> fresh names.
+        consumer_ranges = dict(node.attrs.get("index_ranges", {}))
+        producer_ranges = producer.attrs.get("index_ranges", {})
+        descriptor = producer.attrs["descriptor"]
+        mapping = {}
+        used = set(consumer_ranges) | set(producer_ranges)
+        for free_name, subscript in zip(descriptor.free_indices, reference.indices):
+            mapping[free_name] = subscript.id
+        for bound_name in descriptor.reduce_indices:
+            fresh = _fresh_name(bound_name, used)
+            used.add(fresh)
+            mapping[bound_name] = fresh
+            consumer_ranges[fresh] = producer_ranges[bound_name]
+
+        inlined = _rename_indices(producer_stmt.value, mapping)
+
+        # Freshen the producer's operand names that would collide with
+        # names already visible in the consumer (e.g. two inlined ``mvmul``
+        # bodies both read an ``A``): consumer-side edge names and the
+        # inlined expression are renamed together.
+        consumer_names = set(ast.expr_names(stmt.value)) | {stmt.target}
+        for index_expr in stmt.target_indices:
+            consumer_names |= ast.expr_names(index_expr)
+        consumer_names |= set(node.attrs.get("static_env", {}))
+        consumer_names |= set(consumer_ranges)
+        var_rename = {}
+        producer_edges = list(graph.in_edges(producer))
+        for edge in producer_edges:
+            operand = edge.md.name
+            if operand in consumer_names and operand not in var_rename:
+                var_rename[operand] = _fresh_name(operand, consumer_names | set(var_rename.values()))
+        if var_rename:
+            inlined = _rename_vars(inlined, var_rename)
+
+        new_value = self._substitute(stmt.value, reference, inlined)
+        new_stmt = ast.Assign(
+            target=stmt.target,
+            target_indices=stmt.target_indices,
+            value=new_value,
+            line=stmt.line,
+        )
+
+        merged_static = dict(producer.attrs.get("static_env", {}))
+        merged_static.update(node.attrs.get("static_env", {}))
+        node.attrs["stmt"] = new_stmt
+        node.attrs["index_ranges"] = consumer_ranges
+        node.attrs["static_env"] = merged_static
+        reductions = getattr(graph, "reductions", {})
+        node.attrs["descriptor"] = opclass.classify(
+            new_stmt, consumer_ranges, reductions
+        )
+        node.name = node.attrs["descriptor"].opname
+        reads = set(node.attrs.get("reads", ())) - {reference.base}
+        for edge in producer_edges:
+            reads.add(var_rename.get(edge.md.name, edge.md.name))
+        node.attrs["reads"] = tuple(sorted(reads))
+
+        # Reroute the producer's inputs to the fused node (renamed where
+        # needed), then delete the producer.
+        from dataclasses import replace as _replace
+
+        for edge in producer_edges:
+            md = edge.md
+            if md.name in var_rename:
+                publish = md.producer_name
+                md = _replace(md, name=var_rename[md.name], src_name=publish)
+            graph.add_edge(edge.src, node, md)
+        graph.remove_node(producer)
+        return True
+
+    def _fusable_references(self, graph, node, expr, producers):
+        """(Indexed reference, producer node) pairs eligible for inlining."""
+        found = []
+
+        def visit(sub, additive):
+            if isinstance(sub, ast.BinOp):
+                child_additive = additive and sub.op in ("+", "-")
+                visit(sub.left, child_additive)
+                visit(sub.right, child_additive)
+                return
+            if isinstance(sub, ast.Indexed) and additive:
+                producer = producers.get(sub.base)
+                if producer is None or producer.kind != COMPUTE:
+                    return
+                if producer.attrs.get("partial_write"):
+                    return
+                descriptor = producer.attrs.get("descriptor")
+                if descriptor is None or descriptor.opname not in _FUSABLE_PRODUCERS:
+                    return
+                if descriptor.fused or descriptor.has_predicate:
+                    return
+                # The edge's metadata already links the producer's publish
+                # name (possibly a formal after inlining) to ``sub.base``,
+                # so no name equality is required here.
+                if len(sub.indices) != len(descriptor.free_indices):
+                    return
+                if not all(isinstance(i, ast.Name) for i in sub.indices):
+                    return
+                producer_stmt = producer.attrs["stmt"]
+                if not all(
+                    isinstance(i, ast.Name) for i in producer_stmt.target_indices
+                ):
+                    return
+                if not self._single_consumer(graph, producer, node):
+                    return
+                # Free-index extents must line up with the consumer's
+                # subscript ranges for the inlined expression to be
+                # equivalent.
+                consumer_ranges = node.attrs.get("index_ranges", {})
+                producer_ranges = producer.attrs.get("index_ranges", {})
+                for free_name, subscript in zip(descriptor.free_indices, sub.indices):
+                    if consumer_ranges.get(subscript.id) != producer_ranges.get(
+                        free_name
+                    ):
+                        return
+                # The producer's value must be referenced exactly once in
+                # the consumer, otherwise inlining would duplicate work and
+                # leave a dangling reference.
+                references = sum(
+                    1
+                    for n in ast.walk_expr(node.attrs["stmt"].value)
+                    if isinstance(n, ast.Indexed) and n.base == sub.base
+                )
+                if references != 1:
+                    return
+                found.append((sub, producer))
+
+        visit(expr, True)
+        return found
+
+    def _substitute(self, expr, reference, replacement):
+        if expr is reference:
+            return replacement
+        if isinstance(expr, ast.BinOp):
+            return ast.BinOp(
+                op=expr.op,
+                left=self._substitute(expr.left, reference, replacement),
+                right=self._substitute(expr.right, reference, replacement),
+                line=expr.line,
+            )
+        return expr

@@ -1,0 +1,53 @@
+"""Pass framework over srDFGs (§IV-B of the paper).
+
+PolyMath's compilation framework is a pipeline of target-independent
+passes, each of which consumes an srDFG and produces a transformed srDFG.
+Passes here mutate the graph in place and return it; the
+:class:`~repro.passes.manager.PassManager` validates the graph between
+passes so a broken transformation fails loudly at its own boundary.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..srdfg.graph import COMPONENT
+
+
+class Pass(ABC):
+    """One srDFG -> srDFG transformation."""
+
+    #: Human-readable name used in pipeline reports.
+    name = "pass"
+
+    @abstractmethod
+    def run(self, graph):
+        """Transform *graph* in place and return it."""
+
+    def run_recursive(self, graph):
+        """Apply this pass to *graph* and every nested subgraph."""
+        for node in list(graph.nodes):
+            if node.kind == COMPONENT and node.subgraph is not None:
+                self.run_recursive(node.subgraph)
+        return self.run(graph)
+
+    def __repr__(self):
+        return f"<Pass {self.name}>"
+
+
+def reroute_consumers(graph, old_node, new_node, rename=None):
+    """Point every consumer of *old_node* at *new_node* instead.
+
+    *rename* optionally maps consumer-visible operand names to the names
+    under which *new_node* publishes them (recorded as ``src_name``).
+    """
+    for edge in list(graph.edges):
+        if edge.src.uid != old_node.uid or edge.dst.uid == old_node.uid:
+            continue
+        md = edge.md
+        if rename:
+            publish = rename.get(md.producer_name)
+            if publish is not None:
+                md = md.with_src_name(publish)
+        graph.remove_edge(edge)
+        graph.add_edge(new_node, edge.dst, md)

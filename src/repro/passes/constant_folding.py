@@ -1,0 +1,145 @@
+"""Constant propagation and folding over compute-node formulas.
+
+A classic pass the paper lists as supported by the pass infrastructure
+("traditional passes such as constant propagation, constant folding, etc.").
+Two rewrites are applied to every compute node's statement AST:
+
+* **propagation** — names bound in the node's static environment (dims,
+  constant params, unroll binders) become literals;
+* **folding** — operator/function applications whose operands are all
+  literals are evaluated at compile time.
+
+Folding never touches index variables, so the statement's lattice
+semantics are preserved; descriptors are re-classified afterwards because
+folding can change the op profile (e.g. ``x * 1`` folding away a mul).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..pmlang import ast_nodes as ast
+from ..pmlang.builtins import SCALAR_FUNCTIONS
+from ..srdfg import opclass
+from ..srdfg.graph import COMPUTE
+from .base import Pass
+
+_FOLDABLE_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b if b != 0 else math.inf,
+    "%": lambda a, b: a % b if b != 0 else 0,
+    "^": lambda a, b: a**b,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    ">": lambda a, b: int(a > b),
+    "<=": lambda a, b: int(a <= b),
+    ">=": lambda a, b: int(a >= b),
+    "&&": lambda a, b: int(bool(a) and bool(b)),
+    "||": lambda a, b: int(bool(a) or bool(b)),
+}
+
+
+def _is_number(expr):
+    return isinstance(expr, ast.Literal) and isinstance(expr.value, (int, float))
+
+
+def fold_expr(expr, static_env, protected):
+    """Return a copy of *expr* with statics propagated and constants folded.
+
+    *protected* is the set of names that must stay symbolic (index
+    variables and runtime variables).
+    """
+    if expr is None or isinstance(expr, ast.Literal):
+        return expr
+    if isinstance(expr, ast.Name):
+        if expr.id in static_env and expr.id not in protected:
+            return ast.Literal(value=static_env[expr.id], line=expr.line)
+        return expr
+    if isinstance(expr, ast.Indexed):
+        return ast.Indexed(
+            base=expr.base,
+            indices=tuple(
+                fold_expr(index, static_env, protected) for index in expr.indices
+            ),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.UnaryOp):
+        operand = fold_expr(expr.operand, static_env, protected)
+        if _is_number(operand):
+            if expr.op == "-":
+                return ast.Literal(value=-operand.value, line=expr.line)
+            if expr.op == "!":
+                return ast.Literal(value=int(not operand.value), line=expr.line)
+        return ast.UnaryOp(op=expr.op, operand=operand, line=expr.line)
+    if isinstance(expr, ast.BinOp):
+        left = fold_expr(expr.left, static_env, protected)
+        right = fold_expr(expr.right, static_env, protected)
+        if _is_number(left) and _is_number(right) and expr.op in _FOLDABLE_BINOPS:
+            return ast.Literal(
+                value=_FOLDABLE_BINOPS[expr.op](left.value, right.value),
+                line=expr.line,
+            )
+        return ast.BinOp(op=expr.op, left=left, right=right, line=expr.line)
+    if isinstance(expr, ast.Ternary):
+        cond = fold_expr(expr.cond, static_env, protected)
+        then = fold_expr(expr.then, static_env, protected)
+        other = fold_expr(expr.other, static_env, protected)
+        if _is_number(cond):
+            return then if cond.value else other
+        return ast.Ternary(cond=cond, then=then, other=other, line=expr.line)
+    if isinstance(expr, ast.FuncCall):
+        args = tuple(fold_expr(arg, static_env, protected) for arg in expr.args)
+        if all(_is_number(arg) for arg in args):
+            impl = SCALAR_FUNCTIONS[expr.func][0]
+            value = impl(*[arg.value for arg in args])
+            return ast.Literal(value=float(value), line=expr.line)
+        return ast.FuncCall(func=expr.func, args=args, line=expr.line)
+    if isinstance(expr, ast.ReductionCall):
+        indices = tuple(
+            ast.ReductionIndex(
+                name=spec.name,
+                predicate=fold_expr(spec.predicate, static_env, protected)
+                if spec.predicate is not None
+                else None,
+            )
+            for spec in expr.indices
+        )
+        return ast.ReductionCall(
+            op=expr.op,
+            indices=indices,
+            arg=fold_expr(expr.arg, static_env, protected),
+            line=expr.line,
+        )
+    return expr
+
+
+class ConstantFolding(Pass):
+    """Propagate static bindings and fold constant subexpressions."""
+
+    name = "constant-folding"
+
+    def run(self, graph):
+        reductions = getattr(graph, "reductions", {})
+        for node in graph.compute_nodes():
+            stmt = node.attrs["stmt"]
+            static_env = node.attrs.get("static_env", {})
+            index_ranges = node.attrs.get("index_ranges", {})
+            protected = set(index_ranges)
+            folded = ast.Assign(
+                target=stmt.target,
+                target_indices=tuple(
+                    fold_expr(index, static_env, protected)
+                    for index in stmt.target_indices
+                ),
+                value=fold_expr(stmt.value, static_env, protected),
+                line=stmt.line,
+            )
+            node.attrs["stmt"] = folded
+            node.attrs["descriptor"] = opclass.classify(
+                folded, index_ranges, reductions
+            )
+            node.name = node.attrs["descriptor"].opname
+        return graph

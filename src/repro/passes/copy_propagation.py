@@ -1,0 +1,89 @@
+"""Copy propagation over srDFGs.
+
+A ``copy`` statement (``y[i] = x[i]`` with bare, full-range subscripts in
+matching order) is pure data movement: its consumers can read the source
+directly. This pass reroutes them (recording the producer-side name in
+the edge metadata) and deletes the copy when nothing else needs it.
+
+Copies that materialise a *boundary* variable (an output or state
+write-back, e.g. the FFT's final ``fr[t] = xr[t]``) are kept — the
+boundary buffer must be produced — but interior hand-off copies, which
+PolyMath's component-by-component translation tends to create, disappear.
+DCE then collects anything the rerouting orphaned.
+"""
+
+from __future__ import annotations
+
+from ..pmlang import ast_nodes as ast
+from ..srdfg.graph import VAR
+from ..srdfg.metadata import LOCAL
+from .base import Pass, reroute_consumers
+
+
+def _identity_copy(stmt, index_ranges, lhs_shape):
+    """True when *stmt* is ``y[i..] = x[i..]`` over the full lattice with
+    identical subscript order on both sides."""
+    value = stmt.value
+    if not isinstance(value, ast.Indexed):
+        return False
+    if len(stmt.target_indices) != len(value.indices):
+        return False
+    if len(stmt.target_indices) != len(lhs_shape):
+        return False
+    for dim, (lhs_index, rhs_index) in enumerate(
+        zip(stmt.target_indices, value.indices)
+    ):
+        if not (isinstance(lhs_index, ast.Name) and isinstance(rhs_index, ast.Name)):
+            return False
+        if lhs_index.id != rhs_index.id:
+            return False
+        bounds = index_ranges.get(lhs_index.id)
+        if bounds is None or bounds != (0, lhs_shape[dim] - 1):
+            return False
+    return True
+
+
+class CopyPropagation(Pass):
+    """Forward sources of identity copies to the copies' consumers."""
+
+    name = "copy-propagation"
+
+    def run(self, graph):
+        vars_by_name = getattr(graph, "vars", {})
+        for node in list(graph.compute_nodes()):
+            if node.name != "copy":
+                continue
+            stmt = node.attrs["stmt"]
+            if node.attrs.get("partial_write"):
+                continue
+            if not _identity_copy(
+                stmt, node.attrs.get("index_ranges", {}), node.attrs.get("lhs_shape", ())
+            ):
+                continue
+            source_edges = [
+                edge for edge in graph.in_edges(node)
+                if edge.md.name == stmt.value.base
+            ]
+            if len(source_edges) != 1:
+                continue
+            source_edge = source_edges[0]
+
+            # Does any consumer *require* the copy's target to exist as a
+            # boundary buffer? (write-back into an output/state var node)
+            boundary_consumers = [
+                edge for edge in graph.out_edges(node)
+                if edge.dst.kind == VAR
+                and edge.dst.attrs.get("modifier") != LOCAL
+            ]
+            info = vars_by_name.get(stmt.target)
+            if boundary_consumers or (info is not None and info.modifier != LOCAL):
+                continue
+
+            reroute_consumers(
+                graph,
+                node,
+                source_edge.src,
+                rename={stmt.target: source_edge.md.producer_name},
+            )
+            graph.remove_node(node)
+        return graph

@@ -1,0 +1,94 @@
+"""Common-subexpression elimination for compute nodes.
+
+Two compute nodes are merged when they evaluate structurally identical
+statements over identical producers. The rewrite is conservative: only
+full (non-partial) writes to *local* variables are candidates, so boundary
+semantics and merge-with-previous behaviour are never disturbed.
+"""
+
+from __future__ import annotations
+
+from ..pmlang import ast_nodes as ast
+from ..srdfg.metadata import LOCAL
+from .base import Pass, reroute_consumers
+
+
+def expr_key(expr):
+    """Hashable structural key of an expression (names stay symbolic)."""
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Literal):
+        return ("lit", expr.value)
+    if isinstance(expr, ast.Name):
+        return ("name", expr.id)
+    if isinstance(expr, ast.Indexed):
+        return ("idx", expr.base, tuple(expr_key(i) for i in expr.indices))
+    if isinstance(expr, ast.UnaryOp):
+        return ("un", expr.op, expr_key(expr.operand))
+    if isinstance(expr, ast.BinOp):
+        return ("bin", expr.op, expr_key(expr.left), expr_key(expr.right))
+    if isinstance(expr, ast.Ternary):
+        return (
+            "tern",
+            expr_key(expr.cond),
+            expr_key(expr.then),
+            expr_key(expr.other),
+        )
+    if isinstance(expr, ast.FuncCall):
+        return ("call", expr.func, tuple(expr_key(a) for a in expr.args))
+    if isinstance(expr, ast.ReductionCall):
+        return (
+            "red",
+            expr.op,
+            tuple((s.name, expr_key(s.predicate)) for s in expr.indices),
+            expr_key(expr.arg),
+        )
+    return ("other", repr(expr))
+
+
+def _statement_key(node, graph):
+    stmt = node.attrs["stmt"]
+    # Producers keyed by the operand name the statement reads.
+    sources = tuple(
+        sorted(
+            (edge.md.name, edge.src.uid, edge.md.producer_name)
+            for edge in graph.in_edges(node)
+        )
+    )
+    ranges = tuple(sorted(node.attrs.get("index_ranges", {}).items()))
+    return (
+        tuple(expr_key(i) for i in stmt.target_indices),
+        expr_key(stmt.value),
+        sources,
+        ranges,
+        tuple(node.attrs.get("lhs_shape", ())),
+        node.attrs.get("dtype"),
+    )
+
+
+class CommonSubexpressionElimination(Pass):
+    """Merge duplicate compute nodes producing local values."""
+
+    name = "cse"
+
+    def run(self, graph):
+        vars_by_name = getattr(graph, "vars", {})
+        seen = {}
+        for node in list(graph.compute_nodes()):
+            target = node.attrs["stmt"].target
+            info = vars_by_name.get(target)
+            if info is None or info.modifier != LOCAL:
+                continue
+            if node.attrs.get("partial_write"):
+                continue
+            key = _statement_key(node, graph)
+            keeper = seen.get(key)
+            if keeper is None:
+                seen[key] = node
+                continue
+            keeper_target = keeper.attrs["stmt"].target
+            reroute_consumers(
+                graph, node, keeper, rename={target: keeper_target}
+            )
+            graph.remove_node(node)
+        return graph

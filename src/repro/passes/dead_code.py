@@ -1,0 +1,48 @@
+"""Dead-code elimination over srDFGs.
+
+A node is live when it (transitively) feeds an ``output`` or ``state``
+boundary variable. Everything else — compute, component, and const nodes
+whose values never escape — is removed. Boundary variable nodes are always
+kept: they are the component's interface, not code.
+"""
+
+from __future__ import annotations
+
+from ..srdfg.graph import VAR
+from ..srdfg.metadata import LOCAL
+from .base import Pass
+
+
+class DeadCodeElimination(Pass):
+    """Remove nodes that cannot reach an output/state boundary variable."""
+
+    name = "dead-code-elimination"
+
+    def run(self, graph):
+        live = set()
+        worklist = []
+        for node in graph.nodes:
+            if node.kind == VAR and node.attrs.get("modifier") in ("output", "state"):
+                live.add(node.uid)
+                worklist.append(node)
+
+        # Reverse reachability over all edges (including write-backs).
+        incoming = {}
+        for edge in graph.edges:
+            if edge.src.uid == edge.dst.uid:
+                continue
+            incoming.setdefault(edge.dst.uid, []).append(edge.src)
+        while worklist:
+            node = worklist.pop()
+            for src in incoming.get(node.uid, ()):
+                if src.uid not in live:
+                    live.add(src.uid)
+                    worklist.append(src)
+
+        for node in list(graph.nodes):
+            if node.uid in live:
+                continue
+            if node.kind == VAR and node.attrs.get("modifier") != LOCAL:
+                continue  # keep the interface
+            graph.remove_node(node)
+        return graph

@@ -1,0 +1,96 @@
+"""Pipelined application of srDFG passes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..errors import PassError
+from .base import Pass
+
+
+@dataclass
+class PassReport:
+    """What one pass did to the graph (node/edge deltas)."""
+
+    name: str
+    nodes_before: int
+    nodes_after: int
+    edges_before: int
+    edges_after: int
+
+    @property
+    def removed_nodes(self):
+        return self.nodes_before - self.nodes_after
+
+
+@dataclass
+class PipelineResult:
+    """Aggregated result of running a pass pipeline."""
+
+    graph: object
+    reports: List[PassReport] = field(default_factory=list)
+
+    def summary(self):
+        lines = []
+        for report in self.reports:
+            lines.append(
+                f"{report.name}: nodes {report.nodes_before}->{report.nodes_after}, "
+                f"edges {report.edges_before}->{report.edges_after}"
+            )
+        return "\n".join(lines)
+
+
+class PassManager:
+    """Runs a configurable pipeline of passes with validation in between.
+
+    Passes can be appended programmatically, which is the paper's
+    "conveniently enables creation and application of pipelined
+    compilation passes on the srDFG".
+    """
+
+    def __init__(self, passes=(), validate=True, recursive=True):
+        self.passes: List[Pass] = list(passes)
+        self.validate = validate
+        self.recursive = recursive
+
+    def add(self, pass_instance):
+        """Append a pass; returns self for chaining."""
+        if not isinstance(pass_instance, Pass):
+            raise PassError(f"{pass_instance!r} is not a Pass")
+        self.passes.append(pass_instance)
+        return self
+
+    def run(self, graph):
+        """Apply every pass in order; returns :class:`PipelineResult`."""
+        result = PipelineResult(graph=graph)
+        for pass_instance in self.passes:
+            def _counts(target):
+                return len(target.nodes), len(target.edges)
+
+            nodes_before, edges_before = _counts(graph)
+            try:
+                if self.recursive:
+                    graph = pass_instance.run_recursive(graph)
+                else:
+                    graph = pass_instance.run(graph)
+            except Exception as exc:
+                if isinstance(exc, PassError):
+                    raise
+                raise PassError(
+                    f"pass {pass_instance.name!r} failed: {exc}"
+                ) from exc
+            if self.validate:
+                graph.validate()
+            nodes_after, edges_after = _counts(graph)
+            result.reports.append(
+                PassReport(
+                    name=pass_instance.name,
+                    nodes_before=nodes_before,
+                    nodes_after=nodes_after,
+                    edges_before=edges_before,
+                    edges_after=edges_after,
+                )
+            )
+        result.graph = graph
+        return result

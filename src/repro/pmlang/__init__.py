@@ -1,0 +1,8 @@
+"""PMLang: the cross-domain language front end (§II of the paper)."""
+
+from .ast_nodes import Program
+from .lexer import tokenize
+from .parser import parse
+from .semantic import ProgramInfo, analyze
+
+__all__ = ["Program", "ProgramInfo", "analyze", "parse", "tokenize"]

@@ -1,0 +1,141 @@
+"""Hand-written lexer for PMLang.
+
+PMLang is small enough that a character-at-a-time scanner is clearer than a
+regex table and produces precise error positions. Comments use ``//`` to the
+end of the line (as in the paper's Fig 4 listings).
+"""
+
+from __future__ import annotations
+
+from ..errors import PMLangSyntaxError
+from .tokens import (
+    EOF,
+    FLOAT,
+    INT,
+    KEYWORD,
+    KEYWORDS,
+    MULTI_CHAR_OPS,
+    NAME,
+    OP,
+    SINGLE_CHAR_OPS,
+    STRING,
+    Token,
+)
+
+
+def tokenize(source):
+    """Convert PMLang *source* text into a list of :class:`Token`.
+
+    The returned list always ends with a single EOF token. Raises
+    :class:`PMLangSyntaxError` on any character that cannot start a token.
+    """
+    tokens = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+
+    def error(message):
+        raise PMLangSyntaxError(message, line=line, column=column)
+
+    while i < n:
+        ch = source[i]
+
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+
+        # Line comments.
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+
+        start_column = column
+
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = KEYWORD if text in KEYWORDS else NAME
+            tokens.append(Token(kind, text, line, start_column))
+            column += j - i
+            i = j
+            continue
+
+        # Numeric literals: integers, decimals, and exponent forms.
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and source[j] == ".":
+                is_float = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "eE":
+                k = j + 1
+                if k < n and source[k] in "+-":
+                    k += 1
+                if k < n and source[k].isdigit():
+                    is_float = True
+                    j = k
+                    while j < n and source[j].isdigit():
+                        j += 1
+            text = source[i:j]
+            tokens.append(Token(FLOAT if is_float else INT, text, line, start_column))
+            column += j - i
+            i = j
+            continue
+
+        # String literals (double-quoted, no escapes beyond \" and \\).
+        if ch == '"':
+            j = i + 1
+            chars = []
+            while j < n and source[j] != '"':
+                if source[j] == "\n":
+                    error("unterminated string literal")
+                if source[j] == "\\" and j + 1 < n and source[j + 1] in ('"', "\\"):
+                    chars.append(source[j + 1])
+                    j += 2
+                else:
+                    chars.append(source[j])
+                    j += 1
+            if j >= n:
+                error("unterminated string literal")
+            tokens.append(Token(STRING, "".join(chars), line, start_column))
+            column += (j + 1) - i
+            i = j + 1
+            continue
+
+        # Multi-character operators before single-character ones.
+        matched = None
+        for op in MULTI_CHAR_OPS:
+            if source.startswith(op, i):
+                matched = op
+                break
+        if matched is not None:
+            tokens.append(Token(OP, matched, line, start_column))
+            i += len(matched)
+            column += len(matched)
+            continue
+
+        if ch in SINGLE_CHAR_OPS:
+            tokens.append(Token(OP, ch, line, start_column))
+            i += 1
+            column += 1
+            continue
+
+        error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(EOF, "", line, column))
+    return tokens

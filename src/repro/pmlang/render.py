@@ -1,0 +1,187 @@
+"""Rendering ASTs back to PMLang source.
+
+The inverse of the parser: ``render_program(parse(src))`` is semantically
+identical source (property-tested). Used for srDFG snapshots (statements
+serialise as PMLang text), for decompiling transformed graphs back into
+readable programs, and in error tooling.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+
+#: Binding strength per binary operator (matches the parser's precedence).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 3,
+    ">": 3,
+    "<=": 3,
+    ">=": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+    "%": 5,
+    "^": 7,
+}
+_UNARY_PRECEDENCE = 6
+_TERNARY_PRECEDENCE = 0
+
+
+def _expr_precedence(expr):
+    if isinstance(expr, ast.BinOp):
+        return _PRECEDENCE.get(expr.op, 4)
+    if isinstance(expr, ast.UnaryOp):
+        return _UNARY_PRECEDENCE
+    if isinstance(expr, ast.Ternary):
+        return _TERNARY_PRECEDENCE
+    return 10  # atoms
+
+
+def render_expr(expr, parent_precedence=0):
+    """Render an expression, parenthesising only where binding requires."""
+    if expr is None:
+        return ""
+    if isinstance(expr, ast.Literal):
+        return repr(expr.value) if not isinstance(expr.value, str) else f'"{expr.value}"'
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Indexed):
+        subscripts = "".join(f"[{render_expr(index)}]" for index in expr.indices)
+        return f"{expr.base}{subscripts}"
+    if isinstance(expr, ast.UnaryOp):
+        inner = render_expr(expr.operand, _UNARY_PRECEDENCE + 1)
+        text = f"{expr.op}{inner}"
+        return f"({text})" if parent_precedence > _UNARY_PRECEDENCE else text
+    if isinstance(expr, ast.BinOp):
+        mine = _expr_precedence(expr)
+        left = render_expr(expr.left, mine)
+        # Right operand binds one tighter: -, /, % are left-associative.
+        right = render_expr(expr.right, mine + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if parent_precedence > mine else text
+    if isinstance(expr, ast.Ternary):
+        text = (
+            f"{render_expr(expr.cond, 1)} ? {render_expr(expr.then)} : "
+            f"{render_expr(expr.other)}"
+        )
+        return f"({text})" if parent_precedence > _TERNARY_PRECEDENCE else text
+    if isinstance(expr, ast.FuncCall):
+        arguments = ", ".join(render_expr(arg) for arg in expr.args)
+        return f"{expr.func}({arguments})"
+    if isinstance(expr, ast.ReductionCall):
+        groups = []
+        for spec in expr.indices:
+            if spec.predicate is not None:
+                groups.append(f"[{spec.name}: {render_expr(spec.predicate)}]")
+            else:
+                groups.append(f"[{spec.name}]")
+        return f"{expr.op}{''.join(groups)}({render_expr(expr.arg)})"
+    raise TypeError(f"cannot render {type(expr).__name__}")
+
+
+def render_stmt(stmt, indent="  "):
+    """Render one statement (with trailing semicolon / block)."""
+    if isinstance(stmt, ast.IndexDecl):
+        specs = ", ".join(
+            f"{spec.name}[{render_expr(spec.low)}:{render_expr(spec.high)}]"
+            for spec in stmt.specs
+        )
+        return f"{indent}index {specs};"
+    if isinstance(stmt, ast.VarDecl):
+        items = ", ".join(
+            item.name + "".join(f"[{render_expr(dim)}]" for dim in item.dims)
+            for item in stmt.items
+        )
+        return f"{indent}{stmt.dtype} {items};"
+    if isinstance(stmt, ast.Assign):
+        target = stmt.target + "".join(
+            f"[{render_expr(index)}]" for index in stmt.target_indices
+        )
+        return f"{indent}{target} = {render_expr(stmt.value)};"
+    if isinstance(stmt, ast.ComponentCall):
+        prefix = f"{stmt.domain}: " if stmt.domain else ""
+        arguments = ", ".join(render_expr(arg) for arg in stmt.args)
+        return f"{indent}{prefix}{stmt.component}({arguments});"
+    if isinstance(stmt, ast.Unroll):
+        header = (
+            f"{indent}unroll {stmt.var}"
+            f"[{render_expr(stmt.low)}:{render_expr(stmt.high)}] {{"
+        )
+        body = "\n".join(render_stmt(inner, indent + "  ") for inner in stmt.body)
+        return f"{header}\n{body}\n{indent}}}"
+    raise TypeError(f"cannot render {type(stmt).__name__}")
+
+
+def render_component(component):
+    """Render a full component definition."""
+    arguments = ",\n     ".join(
+        f"{arg.modifier} {arg.dtype} {arg.name}"
+        + "".join(f"[{render_expr(dim)}]" for dim in arg.dims)
+        for arg in component.args
+    )
+    body = "\n".join(render_stmt(stmt) for stmt in component.body)
+    return f"{component.name}({arguments}) {{\n{body}\n}}"
+
+
+def render_reduction(definition):
+    first, second = definition.params
+    return (
+        f"reduction {definition.name}({first},{second}) = "
+        f"{render_expr(definition.expr)};"
+    )
+
+
+def render_program(program):
+    """Render a whole Program back to PMLang source."""
+    pieces = [render_reduction(d) for d in program.reductions.values()]
+    pieces += [render_component(c) for c in program.components.values()]
+    return "\n\n".join(pieces) + "\n"
+
+
+def decompile_graph(graph):
+    """Render a *lowered* (flat) srDFG as a single PMLang component.
+
+    Reconstructs declarations from the graph's var metadata and emits the
+    compute statements in topological order — a readable view of what the
+    compiler actually scheduled.
+    """
+    from ..srdfg.graph import COMPUTE, VAR
+
+    args = []
+    locals_ = []
+    for node in graph.nodes:
+        if node.kind != VAR:
+            continue
+        dims = "".join(f"[{dim}]" for dim in node.attrs.get("shape", ()))
+        modifier = node.attrs.get("modifier", "local")
+        dtype = node.attrs.get("dtype", "float")
+        if modifier == "local":
+            locals_.append(f"  {dtype} {node.name}{dims};")
+        else:
+            args.append(f"{modifier} {dtype} {node.name}{dims}")
+
+    statements = []
+    declared_indices = set()
+    for node in graph.topological_order():
+        if node.kind != COMPUTE:
+            continue
+        stmt = node.attrs["stmt"]
+        ranges = node.attrs.get("index_ranges", {})
+        needed = sorted(
+            name
+            for name in ast.expr_names(stmt.value)
+            | {n for i in stmt.target_indices for n in ast.expr_names(i)}
+            if name in ranges and name not in declared_indices
+        )
+        for name in needed:
+            low, high = ranges[name]
+            statements.append(f"  index {name}[{low}:{high}];")
+            declared_indices.add(name)
+        statements.append(render_stmt(stmt))
+
+    header = f"{graph.name}({', '.join(args)}) {{"
+    return "\n".join([header, *locals_, *statements, "}"])

@@ -1,0 +1,315 @@
+"""Semantic analysis for PMLang programs.
+
+Validates the static rules implied by Table I and §II of the paper:
+
+* ``input`` and ``param`` arguments are read-only inside a component;
+  ``state`` and ``output`` may be read and written. (Table I describes
+  ``output`` as write-only, but the paper's own Fig 4 reads the output
+  argument ``ctrl_mdl`` inside ``update_ctrl_model``, so we follow the
+  listing rather than the table: within the defining component an output
+  behaves like state; externally it is write-only.)
+* Every referenced name must be an argument, a local declaration, an index
+  variable, a dimension symbol, or an unroll binder.
+* Component instantiations must name a defined component with matching
+  arity, and actuals bound to ``output``/``state`` formals must be plain
+  writable variables.
+* Function calls must name a built-in with the right arity; reduction
+  calls must name a built-in or user-defined reduction.
+* Instantiation may not be (mutually) recursive — srDFGs are statically
+  expanded, so the call graph must be a DAG.
+
+Analysis produces a :class:`ProgramInfo` with a per-component symbol table
+the srDFG builder consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import PMLangSemanticError
+from . import ast_nodes as ast
+from .builtins import SCALAR_FUNCTIONS, is_builtin_function, is_builtin_reduction
+
+# Symbol kinds.
+KIND_ARG = "arg"
+KIND_LOCAL = "local"
+KIND_INDEX = "index"
+KIND_DIM = "dim"
+KIND_UNROLL = "unroll"
+
+
+@dataclass
+class Symbol:
+    """A named entity visible inside a component."""
+
+    name: str
+    kind: str
+    dtype: Optional[str] = None
+    modifier: Optional[str] = None
+    dims: Tuple[ast.Expr, ...] = ()
+
+
+@dataclass
+class ComponentInfo:
+    """Resolved symbol table and instantiation list for one component."""
+
+    component: ast.Component
+    symbols: Dict[str, Symbol] = field(default_factory=dict)
+    calls: Tuple[str, ...] = ()
+
+
+@dataclass
+class ProgramInfo:
+    """Result of semantic analysis over a whole program."""
+
+    program: ast.Program
+    components: Dict[str, ComponentInfo] = field(default_factory=dict)
+
+
+def _error(message, line=None):
+    suffix = f" (line {line})" if line else ""
+    raise PMLangSemanticError(f"{message}{suffix}")
+
+
+class _ComponentChecker:
+    """Checks a single component body against the symbol rules."""
+
+    def __init__(self, component, program):
+        self.component = component
+        self.program = program
+        self.symbols = {}
+        self.calls = []
+
+    def run(self):
+        self._declare_args()
+        self._check_body(self.component.body, unroll_vars=())
+        return ComponentInfo(
+            component=self.component, symbols=self.symbols, calls=tuple(self.calls)
+        )
+
+    # -- declarations -------------------------------------------------------
+
+    def _declare(self, symbol, line=None):
+        if symbol.name in self.symbols:
+            _error(
+                f"duplicate declaration of {symbol.name!r} in component "
+                f"{self.component.name!r}",
+                line,
+            )
+        self.symbols[symbol.name] = symbol
+
+    def _declare_args(self):
+        for arg in self.component.args:
+            self._declare(
+                Symbol(
+                    name=arg.name,
+                    kind=KIND_ARG,
+                    dtype=arg.dtype,
+                    modifier=arg.modifier,
+                    dims=arg.dims,
+                ),
+                arg.line,
+            )
+        # Dimension symbols: any bare name in an argument's dims that is not
+        # itself an argument (e.g. ``a`` in ``input float pos[a]``).
+        for arg in self.component.args:
+            for dim in arg.dims:
+                for name in ast.expr_names(dim):
+                    if name not in self.symbols:
+                        self._declare(Symbol(name=name, kind=KIND_DIM), arg.line)
+
+    # -- statements -----------------------------------------------------------
+
+    def _check_body(self, body, unroll_vars):
+        for stmt in body:
+            self._check_stmt(stmt, unroll_vars)
+
+    def _check_stmt(self, stmt, unroll_vars):
+        if isinstance(stmt, ast.IndexDecl):
+            for spec in stmt.specs:
+                self._declare(Symbol(name=spec.name, kind=KIND_INDEX), stmt.line)
+                self._check_read_expr(spec.low, unroll_vars, stmt.line)
+                self._check_read_expr(spec.high, unroll_vars, stmt.line)
+        elif isinstance(stmt, ast.VarDecl):
+            for item in stmt.items:
+                self._declare(
+                    Symbol(
+                        name=item.name, kind=KIND_LOCAL, dtype=stmt.dtype, dims=item.dims
+                    ),
+                    stmt.line,
+                )
+                for dim in item.dims:
+                    self._check_read_expr(dim, unroll_vars, stmt.line)
+        elif isinstance(stmt, ast.Assign):
+            self._check_assign(stmt, unroll_vars)
+        elif isinstance(stmt, ast.ComponentCall):
+            self._check_call(stmt, unroll_vars)
+        elif isinstance(stmt, ast.Unroll):
+            self._check_read_expr(stmt.low, unroll_vars, stmt.line)
+            self._check_read_expr(stmt.high, unroll_vars, stmt.line)
+            if stmt.var in self.symbols:
+                _error(
+                    f"unroll binder {stmt.var!r} shadows an existing name", stmt.line
+                )
+            self._check_body(stmt.body, unroll_vars + (stmt.var,))
+        else:  # pragma: no cover - parser only produces the above
+            _error(f"unknown statement type {type(stmt).__name__}", stmt.line)
+
+    def _check_assign(self, stmt, unroll_vars):
+        symbol = self._lookup(stmt.target, unroll_vars, stmt.line)
+        if symbol is not None:
+            if symbol.kind == KIND_ARG and symbol.modifier in ("input", "param"):
+                _error(
+                    f"cannot write to {symbol.modifier} argument {stmt.target!r}",
+                    stmt.line,
+                )
+            if symbol.kind in (KIND_INDEX, KIND_DIM, KIND_UNROLL):
+                _error(f"cannot assign to {symbol.kind} {stmt.target!r}", stmt.line)
+        for index in stmt.target_indices:
+            self._check_read_expr(index, unroll_vars, stmt.line)
+        self._check_read_expr(stmt.value, unroll_vars, stmt.line)
+
+    def _check_call(self, stmt, unroll_vars):
+        callee = self.program.components.get(stmt.component)
+        if callee is None:
+            _error(f"instantiation of unknown component {stmt.component!r}", stmt.line)
+        if len(stmt.args) != len(callee.args):
+            _error(
+                f"component {stmt.component!r} expects {len(callee.args)} "
+                f"arguments, got {len(stmt.args)}",
+                stmt.line,
+            )
+        for actual, formal in zip(stmt.args, callee.args):
+            if formal.modifier in ("output", "state"):
+                if not isinstance(actual, ast.Name):
+                    _error(
+                        f"argument for {formal.modifier} parameter "
+                        f"{formal.name!r} of {stmt.component!r} must be a "
+                        "variable name",
+                        stmt.line,
+                    )
+                symbol = self._lookup(actual.id, unroll_vars, stmt.line)
+                if symbol is not None and symbol.kind == KIND_ARG:
+                    if formal.modifier == "output" and symbol.modifier in (
+                        "input",
+                        "param",
+                    ):
+                        _error(
+                            f"cannot bind {symbol.modifier} argument "
+                            f"{actual.id!r} to output parameter {formal.name!r}",
+                            stmt.line,
+                        )
+            else:
+                self._check_read_expr(actual, unroll_vars, stmt.line)
+        self.calls.append(stmt.component)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _lookup(self, name, unroll_vars, line):
+        if name in unroll_vars:
+            return Symbol(name=name, kind=KIND_UNROLL)
+        symbol = self.symbols.get(name)
+        if symbol is None:
+            _error(
+                f"undeclared name {name!r} in component {self.component.name!r}", line
+            )
+        return symbol
+
+    def _check_read_expr(self, expr, unroll_vars, line, reduction_params=()):
+        for node in ast.walk_expr(expr):
+            if isinstance(node, ast.Name):
+                if node.id in reduction_params:
+                    continue
+                self._lookup(node.id, unroll_vars, node.line or line)
+            elif isinstance(node, ast.Indexed):
+                self._lookup(node.base, unroll_vars, node.line or line)
+            elif isinstance(node, ast.FuncCall):
+                if not is_builtin_function(node.func):
+                    _error(f"unknown function {node.func!r}", node.line or line)
+                arity = SCALAR_FUNCTIONS[node.func][1]
+                if len(node.args) != arity:
+                    _error(
+                        f"function {node.func!r} expects {arity} argument(s), "
+                        f"got {len(node.args)}",
+                        node.line or line,
+                    )
+            elif isinstance(node, ast.ReductionCall):
+                if not (
+                    is_builtin_reduction(node.op)
+                    or node.op in self.program.reductions
+                ):
+                    _error(f"unknown reduction {node.op!r}", node.line or line)
+                for spec in node.indices:
+                    self._lookup(spec.name, unroll_vars, node.line or line)
+
+
+def _check_reduction_def(definition):
+    allowed = set(definition.params)
+    for node in ast.walk_expr(definition.expr):
+        if isinstance(node, ast.Name) and node.id not in allowed:
+            _error(
+                f"reduction {definition.name!r} may only reference its "
+                f"parameters {definition.params}",
+                definition.line,
+            )
+        if isinstance(node, (ast.Indexed, ast.ReductionCall)):
+            _error(
+                f"reduction {definition.name!r} must be a scalar expression",
+                definition.line,
+            )
+        if isinstance(node, ast.FuncCall) and not is_builtin_function(node.func):
+            _error(f"unknown function {node.func!r}", definition.line)
+
+
+def _check_acyclic(program):
+    """Reject (mutually) recursive component instantiation."""
+    visiting, done = set(), set()
+
+    def visit(name, chain):
+        if name in done:
+            return
+        if name in visiting:
+            cycle = " -> ".join(chain + (name,))
+            _error(f"recursive component instantiation: {cycle}")
+        visiting.add(name)
+        component = program.components[name]
+        for stmt in _all_statements(component.body):
+            if isinstance(stmt, ast.ComponentCall):
+                visit(stmt.component, chain + (name,))
+        visiting.discard(name)
+        done.add(name)
+
+    for name in program.components:
+        visit(name, ())
+
+
+def _all_statements(body):
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, ast.Unroll):
+            yield from _all_statements(stmt.body)
+
+
+def analyze(program, entry="main"):
+    """Run semantic analysis; returns :class:`ProgramInfo` or raises.
+
+    *entry* names the component that must exist as the program's top level
+    (pass ``entry=None`` to skip that requirement, e.g. for libraries of
+    reusable components).
+    """
+    if entry is not None and entry not in program.components:
+        _error(f"program has no {entry!r} component")
+
+    for definition in program.reductions.values():
+        _check_reduction_def(definition)
+
+    info = ProgramInfo(program=program)
+    for name, component in program.components.items():
+        if name in program.reductions:
+            _error(f"{name!r} is defined as both a component and a reduction")
+        checker = _ComponentChecker(component, program)
+        info.components[name] = checker.run()
+
+    _check_acyclic(program)
+    return info

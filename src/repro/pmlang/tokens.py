@@ -1,0 +1,59 @@
+"""Token definitions shared by the PMLang lexer and parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Token kinds. Keywords get their own kind so the parser never has to
+# compare identifier text against reserved words.
+NAME = "NAME"
+INT = "INT"
+FLOAT = "FLOAT"
+STRING = "STRING"
+OP = "OP"  # punctuation / operators, exact text in Token.text
+EOF = "EOF"
+KEYWORD = "KEYWORD"
+
+#: PMLang type modifiers (Table I of the paper).
+TYPE_MODIFIERS = ("input", "output", "state", "param")
+
+#: PMLang scalar element types (Table I).
+ELEMENT_TYPES = ("bin", "int", "float", "str", "complex")
+
+#: Domain annotation keywords for component instantiations (§II-D).
+DOMAINS = ("RBT", "GA", "DSP", "DA", "DL")
+
+#: All reserved words.
+KEYWORDS = frozenset(
+    TYPE_MODIFIERS
+    + ELEMENT_TYPES
+    + DOMAINS
+    + ("index", "reduction", "unroll")
+)
+
+#: Multi-character operators, longest first so the lexer is greedy.
+MULTI_CHAR_OPS = ("==", "!=", "<=", ">=", "&&", "||")
+
+#: Single-character operators and punctuation.
+SINGLE_CHAR_OPS = "+-*/%^<>=!?:;,()[]{}."
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its source position (1-based line/column)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def is_op(self, text):
+        """Return True when this token is the operator/punctuation *text*."""
+        return self.kind == OP and self.text == text
+
+    def is_keyword(self, text):
+        """Return True when this token is the keyword *text*."""
+        return self.kind == KEYWORD and self.text == text
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"

@@ -1,0 +1,30 @@
+"""srDFG: the simultaneously-recursive dataflow graph IR (§III)."""
+
+from .builder import build, eval_static
+from .expand import expand_scalar, scalar_op_histogram
+from .graph import COMPONENT, COMPUTE, CONST, SCALAR, VAR, Edge, Node, SrDFG
+from .interpreter import ExecutionResult, Executor, evaluate_statement
+from .metadata import EdgeMeta, VarInfo
+from .opclass import OpDescriptor, classify
+
+__all__ = [
+    "COMPONENT",
+    "COMPUTE",
+    "CONST",
+    "SCALAR",
+    "VAR",
+    "Edge",
+    "EdgeMeta",
+    "ExecutionResult",
+    "Executor",
+    "Node",
+    "OpDescriptor",
+    "SrDFG",
+    "VarInfo",
+    "build",
+    "classify",
+    "eval_static",
+    "evaluate_statement",
+    "expand_scalar",
+    "scalar_op_histogram",
+]

@@ -1,0 +1,222 @@
+"""Scalar-granularity expansion of compute nodes.
+
+This completes the srDFG's recursion (Fig 5's level-4 boxes): a compute
+node's ``subgraph`` can be materialised as a graph of *scalar* operation
+nodes — one node per scalar multiply/add/compare across the statement's
+index lattice, with group reductions expanded into combine trees.
+
+Materialisation is only sensible for small lattices (visualisation,
+tests, and TABLA-style scalar scheduling demos); cost models use the
+analytic counts in :mod:`repro.srdfg.opclass` instead. ``limit`` guards
+against accidental explosion.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import GraphError
+from ..pmlang import ast_nodes as ast
+from ..pmlang.builtins import BINOP_COST, SCALAR_FUNCTIONS, is_builtin_reduction
+from .graph import SCALAR, Node, SrDFG
+from .metadata import EdgeMeta, LOCAL
+
+_OP_NODE_NAMES = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "%": "mod",
+    "^": "pow",
+    "==": "eq",
+    "!=": "ne",
+    "<": "lt",
+    ">": "gt",
+    "<=": "le",
+    ">=": "ge",
+    "&&": "and",
+    "||": "or",
+}
+
+
+class _ScalarExpander:
+    """Builds the scalar graph for one statement instance."""
+
+    def __init__(self, stmt, index_ranges, static_env, reductions, limit):
+        self.stmt = stmt
+        self.index_ranges = index_ranges
+        self.static_env = static_env
+        self.reductions = reductions
+        self.limit = limit
+        self.graph = SrDFG(name=f"scalar[{stmt.target}]")
+        self.count = 0
+        self._value_nodes = {}
+
+    def _check_limit(self):
+        self.count += 1
+        if self.count > self.limit:
+            raise GraphError(
+                f"scalar expansion of statement targeting {self.stmt.target!r} "
+                f"exceeds limit of {self.limit} nodes"
+            )
+
+    def _leaf(self, label):
+        """Shared leaf node for a concrete operand (e.g. ``A[2][3]``)."""
+        if label not in self._value_nodes:
+            node = Node(name=label, kind=SCALAR, attrs={"leaf": True})
+            self.graph.add_node(node)
+            self._value_nodes[label] = node
+        return self._value_nodes[label]
+
+    def _op_node(self, name, operands):
+        self._check_limit()
+        node = Node(name=name, kind=SCALAR, attrs={"leaf": False})
+        self.graph.add_node(node)
+        for position, operand in enumerate(operands):
+            self.graph.add_edge(
+                operand, node, EdgeMeta(name=f"op{position}", modifier=LOCAL)
+            )
+        return node
+
+    # -- expression expansion -------------------------------------------------
+
+    def expand_expr(self, expr, env):
+        if isinstance(expr, ast.Literal):
+            return self._leaf(repr(expr.value))
+        if isinstance(expr, ast.Name):
+            if expr.id in env:
+                return self._leaf(f"{expr.id}={env[expr.id]}")
+            if expr.id in self.static_env:
+                return self._leaf(f"{expr.id}={self.static_env[expr.id]}")
+            return self._leaf(expr.id)
+        if isinstance(expr, ast.Indexed):
+            subscripts = []
+            for index_expr in expr.indices:
+                subscripts.append(str(self._static_index(index_expr, env)))
+            return self._leaf(f"{expr.base}[{']['.join(subscripts)}]")
+        if isinstance(expr, ast.UnaryOp):
+            operand = self.expand_expr(expr.operand, env)
+            return self._op_node("neg" if expr.op == "-" else "not", [operand])
+        if isinstance(expr, ast.BinOp):
+            left = self.expand_expr(expr.left, env)
+            right = self.expand_expr(expr.right, env)
+            return self._op_node(_OP_NODE_NAMES.get(expr.op, expr.op), [left, right])
+        if isinstance(expr, ast.Ternary):
+            cond = self.expand_expr(expr.cond, env)
+            then = self.expand_expr(expr.then, env)
+            other = self.expand_expr(expr.other, env)
+            return self._op_node("select", [cond, then, other])
+        if isinstance(expr, ast.FuncCall):
+            operands = [self.expand_expr(arg, env) for arg in expr.args]
+            return self._op_node(expr.func, operands)
+        if isinstance(expr, ast.ReductionCall):
+            return self._expand_reduction(expr, env)
+        raise GraphError(f"cannot expand {type(expr).__name__}")
+
+    def _static_index(self, expr, env):
+        from .builder import eval_static
+
+        merged = dict(self.static_env)
+        merged.update(env)
+        return int(round(eval_static(expr, merged)))
+
+    def _expand_reduction(self, call, env):
+        # Enumerate the bound lattice, respecting predicates.
+        names = [spec.name for spec in call.indices]
+        ranges = [
+            range(self.index_ranges[name][0], self.index_ranges[name][1] + 1)
+            for name in names
+        ]
+        elements = []
+        from .builder import eval_static
+
+        for point in itertools.product(*ranges):
+            local = dict(env)
+            local.update(zip(names, point))
+            selected = True
+            for spec in call.indices:
+                if spec.predicate is None:
+                    continue
+                merged = dict(self.static_env)
+                merged.update(local)
+                try:
+                    selected = bool(eval_static(spec.predicate, merged))
+                except Exception:
+                    selected = True  # data-dependent predicate: keep element
+                if not selected:
+                    break
+            if selected:
+                elements.append(self.expand_expr(call.arg, local))
+
+        if not elements:
+            return self._leaf("identity")
+        combine = call.op if is_builtin_reduction(call.op) else f"combine[{call.op}]"
+        # Balanced binary combine tree — the two-level group/scalar shape
+        # described for group reductions in §II-C.
+        level = elements
+        while len(level) > 1:
+            paired = []
+            for position in range(0, len(level) - 1, 2):
+                paired.append(
+                    self._op_node(combine, [level[position], level[position + 1]])
+                )
+            if len(level) % 2:
+                paired.append(level[-1])
+            level = paired
+        return level[0]
+
+    def expand(self):
+        """Expand the whole statement; returns the scalar SrDFG."""
+        free = []
+        for index_expr in self.stmt.target_indices:
+            for name in sorted(ast.expr_names(index_expr)):
+                if name in self.index_ranges and name not in free:
+                    free.append(name)
+        ranges = [
+            range(self.index_ranges[name][0], self.index_ranges[name][1] + 1)
+            for name in free
+        ]
+        for point in itertools.product(*ranges) if free else [()]:
+            env = dict(zip(free, point))
+            value = self.expand_expr(self.stmt.value, env)
+            subscripts = [
+                str(self._static_index(index_expr, env))
+                for index_expr in self.stmt.target_indices
+            ]
+            label = self.stmt.target
+            if subscripts:
+                label = f"{self.stmt.target}[{']['.join(subscripts)}]"
+            sink = Node(name=f"store {label}", kind=SCALAR, attrs={"leaf": True})
+            self.graph.add_node(sink)
+            self.graph.add_edge(value, sink, EdgeMeta(name=label, modifier=LOCAL))
+        return self.graph
+
+
+def expand_scalar(node, limit=20000):
+    """Materialise the scalar-granularity sub-srDFG of a compute node.
+
+    The result is attached as ``node.subgraph`` (so ``node.srdfg`` walks
+    into it, completing the recursion) and returned.
+    """
+    if node.kind != "compute":
+        raise GraphError(f"can only scalar-expand compute nodes, got {node.kind}")
+    expander = _ScalarExpander(
+        node.attrs["stmt"],
+        node.attrs.get("index_ranges", {}),
+        node.attrs.get("static_env", {}),
+        {},
+        limit,
+    )
+    graph = expander.expand()
+    node.subgraph = graph
+    return graph
+
+
+def scalar_op_histogram(graph):
+    """Count scalar nodes by operation name (visualisation/tests)."""
+    histogram = {}
+    for node in graph.nodes:
+        if node.attrs.get("leaf"):
+            continue
+        histogram[node.name] = histogram.get(node.name, 0) + 1
+    return histogram

@@ -1,0 +1,838 @@
+"""Vectorised functional interpreter for srDFGs.
+
+This is the reference execution engine behind every backend: accelerator
+simulators run the *same* lowered graphs functionally through this module,
+so their outputs can be checked against hand-written numpy references.
+
+Evaluation strategy for a formula statement
+-------------------------------------------
+Every index variable in a statement is assigned one broadcast axis: the
+free (LHS) indices first, then each reduction's bound indices. An index
+variable evaluates to an ``arange`` reshaped to occupy its axis, so the
+whole right-hand side evaluates to an ndarray over the statement's index
+lattice with plain numpy broadcasting — including strided subscripts like
+``ctrl_prev[(i+1)*h]`` (fancy indexing with integer arrays) and boolean
+index predicates (masking with the reduction's identity element).
+
+Two optimisations keep large workloads practical without changing
+semantics:
+
+* a ``sum``-of-products whose subscripts are all bare index names is
+  dispatched to ``numpy.einsum`` (this covers dot/matvec/matmul and
+  general tensor contractions);
+* other big reductions are evaluated in chunks along their largest bound
+  axis so the materialised lattice stays under ``lattice_limit`` elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..pmlang import ast_nodes as ast
+from ..pmlang.builtins import GROUP_REDUCTIONS, SCALAR_FUNCTIONS
+from .graph import COMPONENT, COMPUTE, CONST, VAR
+
+#: PMLang element type -> numpy dtype.
+DTYPE_NP = {
+    "float": np.float64,
+    "int": np.int64,
+    "bin": np.int8,
+    "complex": np.complex128,
+}
+
+_REDUCE_IDENTITY = {"sum": 0.0, "prod": 1.0, "max": -np.inf, "min": np.inf}
+
+_BINOPS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "%": np.mod,
+    "^": np.power,
+    "==": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    ">": np.greater,
+    "<=": np.less_equal,
+    ">=": np.greater_equal,
+    "&&": np.logical_and,
+    "||": np.logical_or,
+}
+
+
+@dataclass
+class ExecutionResult:
+    """Outputs and next-invocation state of one srDFG execution."""
+
+    outputs: Dict[str, np.ndarray] = field(default_factory=dict)
+    state: Dict[str, np.ndarray] = field(default_factory=dict)
+
+
+def _np_dtype(dtype, float_dtype=np.float64):
+    if dtype == "float":
+        return float_dtype
+    return DTYPE_NP.get(dtype, np.float64)
+
+
+def _as_array(value, dtype, float_dtype=np.float64):
+    return np.asarray(value, dtype=_np_dtype(dtype, float_dtype))
+
+
+class _AxisSpace:
+    """Axis assignment for the index variables of one statement."""
+
+    def __init__(self, stmt, index_ranges):
+        self.index_ranges = index_ranges
+        self.order = []  # axis id -> index name
+        self.axis = {}  # index name -> axis id
+        for index_expr in stmt.target_indices:
+            for name in self._names(index_expr):
+                self._add(name)
+        self.free_count = len(self.order)
+        for node in ast.walk_expr(stmt.value):
+            if isinstance(node, ast.ReductionCall):
+                for spec in node.indices:
+                    if spec.name in self.axis and self.axis[spec.name] >= self.free_count:
+                        raise ExecutionError(
+                            f"index {spec.name!r} is bound by two reductions "
+                            "in one statement; rename one of them"
+                        )
+                    if spec.name not in self.axis:
+                        self._add(spec.name)
+
+    def _names(self, expr):
+        return [
+            name
+            for name in sorted(ast.expr_names(expr))
+            if name in self.index_ranges
+        ]
+
+    def _add(self, name):
+        if name not in self.axis:
+            self.axis[name] = len(self.order)
+            self.order.append(name)
+
+    @property
+    def total(self):
+        return len(self.order)
+
+    def size(self, name):
+        low, high = self.index_ranges[name]
+        return max(0, high - low + 1)
+
+    def lattice_size(self):
+        total = 1
+        for name in self.order:
+            total *= self.size(name)
+        return total
+
+    def index_array(self, name, sub_range=None):
+        """The broadcastable arange occupying *name*'s axis."""
+        low, high = sub_range if sub_range is not None else self.index_ranges[name]
+        values = np.arange(low, high + 1, dtype=np.int64)
+        shape = [1] * self.total
+        shape[self.axis[name]] = values.size
+        return values.reshape(shape)
+
+
+class _ExprEvaluator:
+    """Evaluates one statement's expressions over its axis space."""
+
+    def __init__(self, space, static_env, var_values, reductions, sub_ranges=None):
+        self.space = space
+        self.static_env = static_env
+        self.var_values = var_values
+        self.reductions = reductions
+        self.sub_ranges = sub_ranges or {}
+        self._index_cache = {}
+        #: Stack of active reduction predicates: subscripts at lattice
+        #: points a predicate masks out are clamped instead of erroring,
+        #: supporting guarded accesses like ``sum[j: i+j < n](x[i+j])``.
+        self._mask_stack = []
+
+    def _index(self, name):
+        if name not in self._index_cache:
+            self._index_cache[name] = self.space.index_array(
+                name, self.sub_ranges.get(name)
+            )
+        return self._index_cache[name]
+
+    def eval(self, expr):
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            return self._eval_name(expr)
+        if isinstance(expr, ast.Indexed):
+            return self._eval_indexed(expr)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self.eval(expr.operand)
+            if expr.op == "-":
+                return np.negative(operand)
+            if expr.op == "!":
+                return np.logical_not(operand)
+            raise ExecutionError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, ast.BinOp):
+            left = self.eval(expr.left)
+            right = self.eval(expr.right)
+            func = _BINOPS.get(expr.op)
+            if func is None:
+                raise ExecutionError(f"unknown operator {expr.op!r}")
+            if expr.op == "/":
+                numerator = np.asarray(left)
+                if numerator.dtype.kind not in ("f", "c"):
+                    numerator = numerator.astype(np.float64)
+                return np.divide(numerator, right)
+            return func(left, right)
+        if isinstance(expr, ast.Ternary):
+            cond = self.eval(expr.cond)
+            then = self.eval(expr.then)
+            other = self.eval(expr.other)
+            return np.where(cond, then, other)
+        if isinstance(expr, ast.FuncCall):
+            impl = SCALAR_FUNCTIONS[expr.func][0]
+            args = []
+            for arg in expr.args:
+                value = np.asarray(self.eval(arg))
+                # Integer/bool operands promote to float; float and
+                # complex keep their kind (sqrt of complex stays complex).
+                if value.dtype.kind not in ("f", "c"):
+                    value = value.astype(np.float64)
+                args.append(value)
+            return impl(*args)
+        if isinstance(expr, ast.ReductionCall):
+            return self._eval_reduction(expr)
+        raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_name(self, expr):
+        name = expr.id
+        if name in self.space.axis:
+            return self._index(name)
+        if name in self.static_env:
+            return self.static_env[name]
+        if name in self.var_values:
+            value = self.var_values[name]
+            array = np.asarray(value)
+            if array.ndim > 0 and array.size > 1:
+                raise ExecutionError(
+                    f"array variable {name!r} used without subscripts"
+                )
+            return array.reshape(()) if array.ndim else array
+        raise ExecutionError(f"unbound name {name!r} during evaluation")
+
+    def _eval_indexed(self, expr):
+        if expr.base not in self.var_values:
+            raise ExecutionError(f"unbound variable {expr.base!r}")
+        base = np.asarray(self.var_values[expr.base])
+        if len(expr.indices) != base.ndim:
+            raise ExecutionError(
+                f"{expr.base!r} subscripted with {len(expr.indices)} indices "
+                f"but has rank {base.ndim}"
+            )
+        fast = self._bare_subscript_view(expr, base)
+        if fast is not None:
+            return fast
+        index_arrays = []
+        for dim, index_expr in enumerate(expr.indices):
+            value = self.eval(index_expr)
+            array = np.asarray(value)
+            if array.dtype.kind == "f":
+                array = np.rint(array).astype(np.int64)
+            extent = base.shape[dim]
+            if array.size and (array.min() < 0 or array.max() >= extent):
+                array = self._guard_subscript(expr, dim, array, extent)
+            index_arrays.append(array)
+        broadcast = np.broadcast_arrays(*index_arrays)
+        return base[tuple(broadcast)]
+
+    def _guard_subscript(self, expr, dim, array, extent):
+        """Clamp out-of-range subscripts that an active predicate masks.
+
+        Raises :class:`ExecutionError` when any *selected* lattice point
+        is out of range — only predicate-excluded points may stray.
+        """
+        violating = (array < 0) | (array >= extent)
+        for mask in self._mask_stack:
+            if mask is None:
+                continue
+            selected = np.asarray(mask, dtype=bool)
+            try:
+                exposed = np.broadcast_arrays(violating, selected)
+            except ValueError:
+                continue
+            if not np.any(exposed[0] & exposed[1]):
+                return np.clip(array, 0, extent - 1)
+        raise ExecutionError(
+            f"subscript {dim} of {expr.base!r} out of range "
+            f"[{int(array.min())}, {int(array.max())}] for extent {extent}"
+        )
+
+    def _bare_subscript_view(self, expr, base):
+        """Zero-copy evaluation of ``A[i][j]`` with bare full-range indices.
+
+        When every subscript is a distinct bare index variable spanning its
+        dimension exactly, the access is a pure axis relabelling: transpose
+        the array into axis order and insert singleton axes — no gather.
+        """
+        axes = []
+        for dim, index_expr in enumerate(expr.indices):
+            if not (
+                isinstance(index_expr, ast.Name)
+                and index_expr.id in self.space.axis
+                and index_expr.id not in self.sub_ranges
+            ):
+                return None
+            name = index_expr.id
+            low, high = self.space.index_ranges[name]
+            if low != 0 or high != base.shape[dim] - 1:
+                return None
+            axes.append(self.space.axis[name])
+        if len(set(axes)) != len(axes):
+            return None
+        order = sorted(range(len(axes)), key=lambda position: axes[position])
+        view = np.transpose(base, order)
+        # Insert singleton axes for every *absent* axis (present axes keep
+        # their extent even when it is 1). Views stay views throughout.
+        present = set(axes)
+        out = view
+        for axis in range(self.space.total):
+            if axis not in present:
+                out = np.expand_dims(out, axis=axis)
+        return out
+
+    # -- reductions ------------------------------------------------------------
+
+    def _eval_reduction(self, expr):
+        axes = tuple(self.space.axis[spec.name] for spec in expr.indices)
+        fast = self._try_einsum(expr, axes)
+        if fast is not None:
+            return fast
+
+        mask = None
+        for spec in expr.indices:
+            if spec.predicate is None:
+                continue
+            predicate = np.asarray(self.eval(spec.predicate), dtype=bool)
+            mask = predicate if mask is None else np.logical_and(mask, predicate)
+
+        self._mask_stack.append(mask)
+        try:
+            arg = np.asarray(self.eval(expr.arg))
+        finally:
+            self._mask_stack.pop()
+        if arg.ndim not in (0, self.space.total):
+            # Every non-scalar intermediate carries the statement's full
+            # rank by construction (index arrays are reshaped to all axes).
+            raise ExecutionError("internal: unexpected intermediate rank")
+        # The lattice must span both the argument and the predicate mask
+        # (a predicate may reference axes the argument does not).
+        target_shape = [1] * self.space.total
+        for operand in (arg, mask):
+            if operand is not None and operand.ndim == self.space.total:
+                target_shape = [
+                    max(have, got) for have, got in zip(target_shape, operand.shape)
+                ]
+        for axis in axes:
+            name = self.space.order[axis]
+            low, high = self.sub_ranges.get(name, self.space.index_ranges[name])
+            target_shape[axis] = max(0, high - low + 1)
+        arg = np.broadcast_to(arg, target_shape)
+        if mask is not None:
+            mask = np.broadcast_to(np.asarray(mask, dtype=bool), target_shape)
+
+        if expr.op in _REDUCE_IDENTITY:
+            if mask is not None:
+                arg = np.where(mask, arg, _REDUCE_IDENTITY[expr.op])
+            impl = GROUP_REDUCTIONS[expr.op][0]
+            data = np.asarray(arg)
+            if data.dtype.kind not in ("f", "c"):
+                data = data.astype(np.float64)
+            return impl(data, axes)[
+                tuple(
+                    np.newaxis if axis in axes else slice(None)
+                    for axis in range(self.space.total)
+                )
+            ]
+        if expr.op in ("argmax", "argmin"):
+            return self._eval_arg_extremum(expr, arg, mask, axes)
+        return self._eval_custom_reduction(expr, arg, mask, axes)
+
+    def _eval_arg_extremum(self, expr, arg, mask, axes):
+        if len(axes) != 1:
+            raise ExecutionError(f"{expr.op} supports a single index variable")
+        axis = axes[0]
+        name = self.space.order[axis]
+        low, _ = self.sub_ranges.get(name, self.space.index_ranges[name])
+        fill = -np.inf if expr.op == "argmax" else np.inf
+        data = np.asarray(arg, dtype=np.float64)
+        if mask is not None:
+            data = np.where(mask, data, fill)
+        pick = np.argmax(data, axis=axis) if expr.op == "argmax" else np.argmin(
+            data, axis=axis
+        )
+        return np.expand_dims(pick + low, axis=axis)
+
+    def _eval_custom_reduction(self, expr, arg, mask, axes):
+        definition = self.reductions.get(expr.op)
+        if definition is None:
+            raise ExecutionError(f"unknown reduction {expr.op!r}")
+        moved = np.moveaxis(arg, axes, range(arg.ndim - len(axes), arg.ndim))
+        lead = moved.shape[: arg.ndim - len(axes)]
+        flat = moved.reshape(lead + (-1,))
+        if mask is not None:
+            mask_moved = np.moveaxis(mask, axes, range(arg.ndim - len(axes), arg.ndim))
+            mask_flat = mask_moved.reshape(lead + (-1,))
+        else:
+            mask_flat = np.ones_like(flat, dtype=bool)
+
+        param_a, param_b = definition.params
+        acc = np.zeros(lead, dtype=np.float64)
+        valid = np.zeros(lead, dtype=bool)
+        for position in range(flat.shape[-1]):
+            element = np.asarray(flat[..., position], dtype=np.float64)
+            selected = mask_flat[..., position]
+            combined = _evaluate_combiner(
+                definition.expr, {param_a: acc, param_b: element}
+            )
+            acc = np.where(
+                selected & valid, combined, np.where(selected & ~valid, element, acc)
+            )
+            valid = valid | selected
+        result = np.where(valid, acc, 0.0)
+        for axis in sorted(axes):
+            result = np.expand_dims(result, axis=axis)
+        return result
+
+    # -- einsum fast path ----------------------------------------------------------
+
+    def _try_einsum(self, expr, axes):
+        """Dispatch ``sum``-of-bare-subscript products to numpy.einsum."""
+        if expr.op != "sum" or any(spec.predicate for spec in expr.indices):
+            return None
+        if self.sub_ranges:
+            return None
+        factors = _product_factors(expr.arg)
+        if factors is None:
+            return None
+        letters = {}
+
+        def letter(name):
+            if name not in letters:
+                letters[name] = chr(ord("a") + len(letters))
+            return letters[name]
+
+        operands = []
+        subscripts = []
+        scalar = 1.0
+        for factor in factors:
+            if isinstance(factor, ast.Literal):
+                scalar *= factor.value
+                continue
+            if isinstance(factor, ast.Name):
+                if factor.id in self.static_env:
+                    scalar *= self.static_env[factor.id]
+                    continue
+                return None
+            if not isinstance(factor, ast.Indexed):
+                return None
+            subs = []
+            for index_expr in factor.indices:
+                if not (
+                    isinstance(index_expr, ast.Name)
+                    and index_expr.id in self.space.axis
+                ):
+                    return None
+                # Bare subscripts must span the variable's full extent for a
+                # plain einsum to be equivalent to lattice evaluation.
+                name = index_expr.id
+                low, high = self.space.index_ranges[name]
+                subs.append((name, low, high))
+            base = np.asarray(self.var_values.get(factor.base))
+            if self.var_values.get(factor.base) is None or base.ndim != len(subs):
+                return None
+            for dim, (name, low, high) in enumerate(subs):
+                if low != 0 or high != base.shape[dim] - 1:
+                    return None
+            base_array = np.asarray(base)
+            if base_array.dtype.kind not in ("f", "c"):
+                base_array = base_array.astype(np.float64)
+            operands.append(base_array)
+            subscripts.append("".join(letter(name) for name, _, _ in subs))
+
+        if not operands:
+            return None
+        reduce_names = {spec.name for spec in expr.indices}
+        used_names = set(letters)
+        if not reduce_names <= used_names:
+            # A bound index that never appears multiplies the result by the
+            # range size; handle by scaling.
+            for name in reduce_names - used_names:
+                scalar *= self.space.size(name)
+        output_names = [
+            name
+            for name in self.space.order
+            if name in used_names and name not in reduce_names
+        ]
+        spec = ",".join(subscripts) + "->" + "".join(letter(n) for n in output_names)
+        result = np.einsum(spec, *operands, optimize=True)
+        if scalar != 1.0:
+            result = result * scalar
+        # Re-expand to full-rank so downstream ops keep absolute axes.
+        shape = [1] * self.space.total
+        for name in output_names:
+            shape[self.space.axis[name]] = self.space.size(name)
+        return np.asarray(result).reshape(shape)
+
+
+def _product_factors(expr):
+    if isinstance(expr, ast.BinOp) and expr.op == "*":
+        left = _product_factors(expr.left)
+        right = _product_factors(expr.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(expr, (ast.Indexed, ast.Name, ast.Literal)):
+        return [expr]
+    return None
+
+
+def _evaluate_combiner(expr, env):
+    """Evaluate a user-defined reduction body over two ndarray operands."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        return env[expr.id]
+    if isinstance(expr, ast.UnaryOp):
+        value = _evaluate_combiner(expr.operand, env)
+        return np.negative(value) if expr.op == "-" else np.logical_not(value)
+    if isinstance(expr, ast.BinOp):
+        left = _evaluate_combiner(expr.left, env)
+        right = _evaluate_combiner(expr.right, env)
+        return _BINOPS[expr.op](left, right)
+    if isinstance(expr, ast.Ternary):
+        return np.where(
+            _evaluate_combiner(expr.cond, env),
+            _evaluate_combiner(expr.then, env),
+            _evaluate_combiner(expr.other, env),
+        )
+    if isinstance(expr, ast.FuncCall):
+        impl = SCALAR_FUNCTIONS[expr.func][0]
+        return impl(*[_evaluate_combiner(arg, env) for arg in expr.args])
+    raise ExecutionError(f"invalid reduction body node {type(expr).__name__}")
+
+
+class Executor:
+    """Executes an srDFG functionally.
+
+    Parameters
+    ----------
+    graph:
+        An srDFG from :func:`repro.srdfg.builder.build` (or a lowered
+        version of it — lowering preserves compute-node semantics).
+    reductions:
+        User-defined reduction definitions (name -> ReductionDef).
+    lattice_limit:
+        Maximum number of lattice elements materialised at once; larger
+        reductions are evaluated in chunks along their biggest bound axis.
+    """
+
+    #: Available float precisions. ``f32`` models accelerator arithmetic:
+    #: values are rounded to float32 at every statement boundary
+    #: (statement-granularity quantisation; intermediates inside one
+    #: formula stay double, like a wide accumulator).
+    PRECISIONS = {"f64": np.float64, "f32": np.float32}
+
+    def __init__(self, graph, reductions=None, lattice_limit=1 << 24,
+                 precision="f64"):
+        self.graph = graph
+        if reductions is None:
+            reductions = getattr(graph, "reductions", None)
+        self.reductions = dict(reductions or {})
+        self.lattice_limit = lattice_limit
+        if precision not in self.PRECISIONS:
+            raise ExecutionError(
+                f"unknown precision {precision!r}; choose from "
+                f"{sorted(self.PRECISIONS)}"
+            )
+        self.precision = precision
+        self.float_dtype = self.PRECISIONS[precision]
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, inputs=None, params=None, state=None, output_init=None,
+            trace=None):
+        """Execute one invocation; returns :class:`ExecutionResult`.
+
+        *trace*, when a list, receives one record per executed node:
+        ``{"node", "kind", "produced": {name: (shape, dtype)}}`` — a
+        lightweight execution trace for debugging graph transformations.
+        """
+        inputs = inputs or {}
+        params = params or {}
+        state = state or {}
+        output_init = output_init or {}
+
+        values: Dict[tuple, np.ndarray] = {}
+        for node in self.graph.topological_order():
+            if node.kind == VAR:
+                values[(node.uid, node.name)] = self._var_initial(
+                    node, inputs, params, state, output_init
+                )
+            elif node.kind == CONST:
+                values[(node.uid, node.name.split("=")[0])] = _as_array(
+                    node.attrs["value"],
+                    node.attrs.get("dtype", "float"),
+                    self.float_dtype,
+                )
+            elif node.kind == COMPUTE:
+                self._run_compute(node, values)
+            elif node.kind == COMPONENT:
+                self._run_component(node, values)
+            if trace is not None:
+                produced = {
+                    name: (tuple(np.shape(value)), str(np.asarray(value).dtype))
+                    for (uid, name), value in values.items()
+                    if uid == node.uid
+                }
+                trace.append(
+                    {"node": node.name, "kind": node.kind, "produced": produced}
+                )
+
+        return self._collect_results(values, state, output_init)
+
+    # -- node execution -----------------------------------------------------------
+
+    def _var_initial(self, node, inputs, params, state, output_init):
+        modifier = node.attrs["modifier"]
+        name = node.name
+        dtype = node.attrs["dtype"]
+        shape = node.attrs["shape"]
+        if modifier == "input":
+            if name not in inputs:
+                raise ExecutionError(f"missing input {name!r}")
+            value = inputs[name]
+        elif modifier == "param":
+            if name not in params:
+                raise ExecutionError(f"missing param {name!r}")
+            value = params[name]
+        elif modifier == "state":
+            value = state.get(name, np.zeros(shape))
+        elif modifier == "output":
+            value = output_init.get(name, np.zeros(shape))
+        else:  # local read-before-write
+            value = np.zeros(shape)
+        array = _as_array(value, dtype, self.float_dtype)
+        if tuple(array.shape) != tuple(shape):
+            raise ExecutionError(
+                f"value for {name!r} has shape {tuple(array.shape)}, "
+                f"declared {tuple(shape)}"
+            )
+        return array
+
+    def _gather_inputs(self, node, values):
+        gathered = {}
+        for edge in self.graph.in_edges(node):
+            key = (edge.src.uid, edge.md.producer_name)
+            if key in values:
+                gathered[edge.md.name] = values[key]
+        return gathered
+
+    def _run_compute(self, node, values):
+        stmt = node.attrs["stmt"]
+        var_values = self._gather_inputs(node, values)
+        result = evaluate_statement(
+            stmt,
+            node.attrs["index_ranges"],
+            node.attrs["static_env"],
+            var_values,
+            self.reductions,
+            lhs_shape=node.attrs["lhs_shape"],
+            dtype=node.attrs["dtype"],
+            lattice_limit=self.lattice_limit,
+            float_dtype=self.float_dtype,
+        )
+        values[(node.uid, stmt.target)] = result
+
+    def _run_component(self, node, values):
+        incoming = self._gather_inputs(node, values)
+        sub = node.subgraph
+        inputs, params, state, output_init = {}, {}, {}, {}
+        for binding in node.attrs["bindings"]:
+            if binding.kind == "const":
+                continue
+            value = incoming.get(binding.actual)
+            if value is None:
+                declared = sub.vars.get(binding.formal)
+                value = np.zeros(declared.shape if declared else ())
+            if binding.modifier == "input":
+                inputs[binding.formal] = value
+            elif binding.modifier == "param":
+                params[binding.formal] = value
+            elif binding.modifier == "state":
+                state[binding.formal] = value
+            elif binding.modifier == "output":
+                output_init[binding.formal] = value
+        result = Executor(
+            sub, self.reductions, self.lattice_limit, precision=self.precision
+        ).run(inputs, params, state, output_init)
+        for binding in node.attrs["bindings"]:
+            if binding.kind == "const":
+                continue
+            if binding.modifier == "output":
+                values[(node.uid, binding.actual)] = result.outputs[binding.formal]
+            elif binding.modifier == "state":
+                values[(node.uid, binding.actual)] = result.state[binding.formal]
+
+    def _collect_results(self, values, state, output_init):
+        result = ExecutionResult()
+        for node in self.graph.var_nodes():
+            modifier = node.attrs["modifier"]
+            if modifier not in ("output", "state"):
+                continue
+            final = None
+            for edge in self.graph.edges:
+                if edge.dst.uid == node.uid and edge.src.uid != node.uid:
+                    key = (edge.src.uid, edge.md.producer_name)
+                    if key in values:
+                        final = values[key]
+            if final is None:
+                final = values[(node.uid, node.name)]
+            if modifier == "output":
+                result.outputs[node.name] = final
+            else:
+                result.state[node.name] = final
+        return result
+
+
+def evaluate_statement(
+    stmt,
+    index_ranges,
+    static_env,
+    var_values,
+    reductions=None,
+    lhs_shape=(),
+    dtype="float",
+    lattice_limit=1 << 24,
+    float_dtype=np.float64,
+):
+    """Evaluate one PMLang assignment; returns the new value of its target.
+
+    Exposed as a function so tests can exercise statement semantics without
+    building whole graphs.
+    """
+    reductions = reductions or {}
+    space = _AxisSpace(stmt, index_ranges)
+
+    raw = None
+    if isinstance(stmt.value, ast.ReductionCall):
+        # Contractions that einsum can express never materialise the
+        # lattice, so prefer that over chunked evaluation.
+        evaluator = _ExprEvaluator(space, static_env, var_values, reductions)
+        axes = tuple(space.axis[spec.name] for spec in stmt.value.indices)
+        raw = evaluator._try_einsum(stmt.value, axes)
+    if raw is None:
+        chunk_plan = _plan_chunks(stmt, space, lattice_limit)
+        if chunk_plan is None:
+            evaluator = _ExprEvaluator(space, static_env, var_values, reductions)
+            raw = evaluator.eval(stmt.value)
+        else:
+            raw = _evaluate_chunked(
+                stmt, space, static_env, var_values, reductions, chunk_plan
+            )
+
+    raw = np.asarray(raw)
+    if raw.ndim == space.total and space.total > 0:
+        # Drop reduction axes (all size 1 after keepdims-style reduction).
+        keep = tuple(range(space.free_count))
+        squeeze_axes = tuple(
+            axis for axis in range(space.free_count, space.total)
+        )
+        if squeeze_axes:
+            raw = np.squeeze(raw, axis=squeeze_axes)
+    free_shape = tuple(space.size(name) for name in space.order[: space.free_count])
+    if free_shape:
+        raw = np.broadcast_to(raw, free_shape)
+
+    target_dtype = _np_dtype(dtype, float_dtype)
+    if not stmt.target_indices:
+        if lhs_shape not in ((), (1,)):
+            raise ExecutionError(
+                f"whole-array assignment to {stmt.target!r} requires subscripts"
+            )
+        scalar = np.asarray(raw, dtype=target_dtype).reshape(lhs_shape)
+        return scalar
+
+    previous = var_values.get(stmt.target)
+    if previous is not None:
+        out = np.array(previous, dtype=target_dtype, copy=True)
+        if tuple(out.shape) != tuple(lhs_shape):
+            out = np.zeros(lhs_shape, dtype=target_dtype)
+    else:
+        out = np.zeros(lhs_shape, dtype=target_dtype)
+
+    # Evaluate target subscripts over the free axes.
+    free_space = space
+    evaluator = _ExprEvaluator(free_space, static_env, var_values, reductions)
+    index_arrays = []
+    for dim, index_expr in enumerate(stmt.target_indices):
+        value = np.asarray(evaluator.eval(index_expr))
+        if value.dtype.kind == "f":
+            value = np.rint(value).astype(np.int64)
+        if value.ndim == space.total and space.total > 0:
+            squeeze_axes = tuple(range(space.free_count, space.total))
+            if squeeze_axes:
+                value = np.squeeze(value, axis=squeeze_axes)
+        extent = out.shape[dim]
+        if value.size and (value.min() < 0 or value.max() >= extent):
+            raise ExecutionError(
+                f"write subscript {dim} of {stmt.target!r} out of range for "
+                f"extent {extent}"
+            )
+        index_arrays.append(value)
+
+    broadcast = np.broadcast_arrays(*index_arrays, np.asarray(raw))
+    targets, payload = broadcast[:-1], broadcast[-1]
+    out[tuple(targets)] = payload
+    return out
+
+
+def _plan_chunks(stmt, space, lattice_limit):
+    """Decide whether/how to chunk a big top-level builtin reduction."""
+    if space.lattice_size() <= lattice_limit:
+        return None
+    value = stmt.value
+    if not (isinstance(value, ast.ReductionCall) and value.op in _REDUCE_IDENTITY):
+        return None
+    reduce_names = [spec.name for spec in value.indices]
+    if not reduce_names:
+        return None
+    # Chunk along the largest bound axis.
+    chunk_name = max(reduce_names, key=space.size)
+    lattice_without = space.lattice_size() // max(1, space.size(chunk_name))
+    chunk_len = max(1, lattice_limit // max(1, lattice_without))
+    return (chunk_name, chunk_len, value.op)
+
+
+def _evaluate_chunked(stmt, space, static_env, var_values, reductions, plan):
+    chunk_name, chunk_len, op = plan
+    low, high = space.index_ranges[chunk_name]
+    partial = None
+    combine = {
+        "sum": np.add,
+        "prod": np.multiply,
+        "max": np.maximum,
+        "min": np.minimum,
+    }[op]
+    start = low
+    while start <= high:
+        stop = min(high, start + chunk_len - 1)
+        evaluator = _ExprEvaluator(
+            space, static_env, var_values, reductions, sub_ranges={chunk_name: (start, stop)}
+        )
+        piece = np.asarray(evaluator.eval(stmt.value))
+        partial = piece if partial is None else combine(partial, piece)
+        start = stop + 1
+    return partial

@@ -1,0 +1,62 @@
+"""JSON-compatible serialisation of srDFG structure.
+
+Serialises the *structure and metadata* (what Algorithm 2's translation
+functions consume): node names/kinds/domains, recursive subgraphs, edge
+metadata, and compute-node classification summaries. AST payloads are
+summarised rather than round-tripped — deserialisation back to an
+executable graph goes through the PMLang source, which is the canonical
+representation.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def graph_to_dict(graph):
+    """Recursive plain-dict form of *graph* (stable across runs)."""
+    nodes = []
+    uid_to_local = {node.uid: position for position, node in enumerate(graph.nodes)}
+    for node in graph.nodes:
+        entry = {
+            "name": node.name,
+            "kind": node.kind,
+            "domain": node.domain,
+        }
+        if node.kind == "var":
+            entry["modifier"] = node.attrs.get("modifier")
+            entry["dtype"] = node.attrs.get("dtype")
+            entry["shape"] = list(node.attrs.get("shape", ()))
+        if node.kind == "compute":
+            descriptor = node.attrs.get("descriptor")
+            if descriptor is not None:
+                entry["op_counts"] = dict(descriptor.op_counts)
+                entry["free_size"] = descriptor.free_size
+                entry["reduce_size"] = descriptor.reduce_size
+        if node.subgraph is not None:
+            entry["srdfg"] = graph_to_dict(node.subgraph)
+        nodes.append(entry)
+    edges = [
+        {
+            "src": uid_to_local[edge.src.uid],
+            "dst": uid_to_local[edge.dst.uid],
+            "md": {
+                "name": edge.md.name,
+                "dtype": edge.md.dtype,
+                "modifier": edge.md.modifier,
+                "shape": list(edge.md.shape),
+            },
+        }
+        for edge in graph.edges
+    ]
+    return {
+        "name": graph.name,
+        "domain": graph.domain,
+        "nodes": nodes,
+        "edges": edges,
+    }
+
+
+def graph_to_json(graph, indent=None):
+    """JSON text form of :func:`graph_to_dict`."""
+    return json.dumps(graph_to_dict(graph), indent=indent, sort_keys=True)

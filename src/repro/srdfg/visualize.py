@@ -1,0 +1,54 @@
+"""Text and DOT renderings of srDFGs (cf. the paper's Fig 2 / Fig 5)."""
+
+from __future__ import annotations
+
+from io import StringIO
+
+
+def render_text(graph, max_depth=None, _indent=0, _buffer=None):
+    """Indented multi-granularity dump of *graph*; returns a string.
+
+    Each recursion level is indented one step, mirroring the zoomed-in
+    boxes of Fig 5: component nodes print their sub-srDFG beneath them.
+    """
+    buffer = _buffer if _buffer is not None else StringIO()
+    pad = "  " * _indent
+    buffer.write(f"{pad}srDFG {graph.name!r} domain={graph.domain}\n")
+    for node in graph.nodes:
+        detail = ""
+        if node.kind == "var":
+            detail = f" [{node.attrs.get('modifier')} {node.attrs.get('dtype')} {node.attrs.get('shape')}]"
+        elif node.kind == "compute":
+            descriptor = node.attrs.get("descriptor")
+            if descriptor is not None:
+                detail = f" ops={descriptor.total_ops}"
+        buffer.write(f"{pad}  ({node.kind}) {node.name}{detail}\n")
+        if node.subgraph is not None and (max_depth is None or _indent + 1 <= max_depth):
+            render_text(node.subgraph, max_depth=max_depth, _indent=_indent + 2, _buffer=buffer)
+    for edge in graph.edges:
+        buffer.write(f"{pad}  edge {edge.src.name} -> {edge.dst.name}: {edge.md.describe()}\n")
+    if _buffer is None:
+        return buffer.getvalue()
+    return None
+
+
+def render_dot(graph, name="srdfg"):
+    """GraphViz DOT for the *top level* of *graph* (one granularity)."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    shape_by_kind = {
+        "var": "ellipse",
+        "const": "diamond",
+        "compute": "box",
+        "component": "box3d",
+        "scalar": "circle",
+    }
+    for node in graph.nodes:
+        shape = shape_by_kind.get(node.kind, "box")
+        label = node.name.replace('"', "'")
+        lines.append(f'  n{node.uid} [label="{label}", shape={shape}];')
+    for edge in graph.edges:
+        label = edge.md.name.replace('"', "'")
+        style = ' style=dashed' if edge.src.uid == edge.dst.uid else ""
+        lines.append(f'  n{edge.src.uid} -> n{edge.dst.uid} [label="{label}"{style}];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""User-study reproduction (Fig 13)."""
+
+from .userstudy import PYTHON_DCT, PYTHON_KMEANS, StudyResult, StudyRow, run_user_study
+
+__all__ = ["PYTHON_DCT", "PYTHON_KMEANS", "StudyResult", "StudyRow", "run_user_study"]

@@ -1,0 +1,134 @@
+"""User-study reproduction (Fig 13 and §V-B3).
+
+The paper timed 20 programmers implementing K-means or DCT in Python vs
+PMLang. We cannot run human subjects, so this module substitutes (see
+DESIGN.md):
+
+* **LOC reduction is measured, not modelled** — the repository ships both
+  the PMLang workload sources and idiomatic numpy implementations of the
+  two study tasks (the exact stimulus programs below); Fig 13a's ratios
+  are computed from those real sources with the same non-blank,
+  non-comment counting rule applied to both languages.
+* **Coding time is modelled**: implementation time is taken proportional
+  to lines written, discounted for PMLang by a language-unfamiliarity
+  factor. The paper's own data implies this structure — its time
+  reductions (2.6x, 1.2x) are consistently ~0.73x of its LOC reductions
+  (3.3x, 1.8x), i.e. subjects wrote fewer PMLang lines but spent more
+  time per line in a language they had learned from a six-minute video.
+  We reuse that observed per-line slowdown as the model constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..workloads.base import count_loc
+from ..workloads import get_workload
+
+#: Subjects' per-line slowdown in a freshly-learned language, from the
+#: paper's reported time/LOC ratios (mean of 2.6/3.3 and 1.2/1.8).
+UNFAMILIARITY_FACTOR = 0.73
+
+#: Idiomatic numpy K-means: what a proficient Python subject submits.
+PYTHON_KMEANS = '''
+import numpy as np
+
+def kmeans(points, k, iters, seed=0):
+    """Lloyd's algorithm: returns (assignments, centroids)."""
+    rng = np.random.default_rng(seed)
+    n, d = points.shape
+    centroids = points[rng.choice(n, size=k, replace=False)].copy()
+    assign = np.zeros(n, dtype=np.int64)
+    for _ in range(iters):
+        dist2 = np.zeros((n, k))
+        for c in range(k):
+            diff = points - centroids[c]
+            dist2[:, c] = (diff * diff).sum(axis=1)
+        assign = np.argmin(dist2, axis=1)
+        for c in range(k):
+            members = points[assign == c]
+            if len(members) > 0:
+                centroids[c] = members.mean(axis=0)
+    inertia = 0.0
+    for c in range(k):
+        members = points[assign == c]
+        if len(members) > 0:
+            diff = members - centroids[c]
+            inertia += (diff * diff).sum()
+    return assign, centroids, inertia
+'''
+
+#: Idiomatic numpy blocked DCT.
+PYTHON_DCT = '''
+import numpy as np
+
+def dct_matrix(n=8):
+    k = np.arange(n)[:, None]
+    i = np.arange(n)[None, :]
+    mat = np.cos(np.pi * (2 * i + 1) * k / (2 * n)) * np.sqrt(2.0 / n)
+    mat[0, :] = np.sqrt(1.0 / n)
+    return mat
+
+def dct_blocked(image, block=8):
+    """8x8 blocked 2-D DCT with stride 8."""
+    height, width = image.shape
+    d = dct_matrix(block)
+    out = np.zeros_like(image)
+    for by in range(0, height, block):
+        for bx in range(0, width, block):
+            tile = image[by:by + block, bx:bx + block]
+            out[by:by + block, bx:bx + block] = d @ tile @ d.T
+    return out
+'''
+
+
+@dataclass
+class StudyRow:
+    """One algorithm's comparison (a Fig 13 bar pair)."""
+
+    algorithm: str
+    python_loc: int
+    pmlang_loc: int
+
+    @property
+    def loc_reduction(self):
+        return self.python_loc / self.pmlang_loc
+
+    @property
+    def time_reduction(self):
+        """Modelled implementation-time ratio (see module docstring)."""
+        return self.loc_reduction * UNFAMILIARITY_FACTOR
+
+
+@dataclass
+class StudyResult:
+    rows: List[StudyRow] = field(default_factory=list)
+
+    @property
+    def average_loc_reduction(self):
+        return sum(row.loc_reduction for row in self.rows) / len(self.rows)
+
+    @property
+    def average_time_reduction(self):
+        return sum(row.time_reduction for row in self.rows) / len(self.rows)
+
+
+def run_user_study():
+    """Fig 13's LOC (measured) and coding-time (modelled) reductions."""
+    kmeans_pm = get_workload("DigitCluster").pmlang_loc
+    dct_pm = get_workload("DCT-1024").pmlang_loc
+    return StudyResult(
+        rows=[
+            StudyRow(
+                algorithm="Kmeans",
+                python_loc=count_loc(PYTHON_KMEANS),
+                pmlang_loc=kmeans_pm,
+            ),
+            StudyRow(
+                algorithm="DCT",
+                python_loc=count_loc(PYTHON_DCT),
+                pmlang_loc=dct_pm,
+            ),
+        ]
+    )

@@ -1,0 +1,47 @@
+"""Accelerator backends and the Algorithm-2 target compiler."""
+
+from .base import Accelerator, AcceleratorProgram, AcceleratorSpec, IRFragment
+from .compiler import CompiledApplication, PolyMath, compile_to_targets, retag_component_domain
+from .deco_stages import StageMap, map_stages, map_statement
+from .graphicionado_sim import SweepResult, simulate_bfs, simulate_sweep
+from .tabla_schedule import Schedule, TablaScheduler
+from .vta_uops import UopStream, generate_gemm_stream, stream_for_fragment
+from .deco import Deco
+from .graphicionado import Graphicionado
+from .hyperstreams import HyperStreams
+from .registry import ACCELERATORS, DEFAULT_BY_DOMAIN, default_accelerators, make_accelerator
+from .robox import Robox
+from .tabla import Tabla
+from .vta import Vta
+
+__all__ = [
+    "ACCELERATORS",
+    "Accelerator",
+    "AcceleratorProgram",
+    "AcceleratorSpec",
+    "CompiledApplication",
+    "DEFAULT_BY_DOMAIN",
+    "Deco",
+    "Graphicionado",
+    "HyperStreams",
+    "IRFragment",
+    "PolyMath",
+    "Robox",
+    "Schedule",
+    "StageMap",
+    "SweepResult",
+    "Tabla",
+    "TablaScheduler",
+    "UopStream",
+    "Vta",
+    "compile_to_targets",
+    "default_accelerators",
+    "generate_gemm_stream",
+    "make_accelerator",
+    "map_stages",
+    "map_statement",
+    "retag_component_domain",
+    "simulate_bfs",
+    "simulate_sweep",
+    "stream_for_fragment",
+]

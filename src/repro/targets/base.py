@@ -1,0 +1,320 @@
+"""Accelerator abstraction: specs, IR fragments, and the target interface.
+
+Algorithm 2 of the paper compiles a lowered srDFG against per-domain
+*accelerator specifications*. A specification is the pair ``(md, +d)``:
+
+* ``md`` maps operator names to *translation functions*
+  ``t(srdfg, node) -> IRFragment`` producing the accelerator operation for
+  the node, with arguments resolved from edge metadata (types converted,
+  input/output edges becoming arguments, state edges becoming initialised
+  IR variables, params becoming constants, shapes attached when needed);
+* ``+d`` combines an accelerator IR and a fragment — here, appending to an
+  :class:`AcceleratorProgram`.
+
+Every concrete backend in this package supplies its specification plus a
+hardware cost model; ``simulate`` executes the lowered graph functionally
+(through the srDFG interpreter, so results are bit-identical with the
+reference path) while charging cycles/energy per fragment.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import TargetError
+from ..hw.cost import PerfStats, RooflineModel
+from ..srdfg.graph import COMPONENT, COMPUTE, CONST, VAR
+from ..srdfg.interpreter import Executor
+from ..srdfg.metadata import LOCAL
+
+
+@dataclass
+class IRFragment:
+    """One accelerator-IR operation: a basic operator plus its arguments."""
+
+    op: str
+    target: str
+    domain: Optional[str] = None
+    inputs: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
+    outputs: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
+    attrs: dict = field(default_factory=dict)
+
+    def describe(self):
+        ins = ", ".join(f"{name}{list(shape)}" for name, shape in self.inputs)
+        outs = ", ".join(f"{name}{list(shape)}" for name, shape in self.outputs)
+        return f"{self.target}.{self.op}({ins}) -> ({outs})"
+
+
+@dataclass
+class AcceleratorProgram:
+    """The accelerator IR ``pi_d`` for one domain: an ordered fragment list."""
+
+    target: str
+    domain: Optional[str] = None
+    fragments: List[IRFragment] = field(default_factory=list)
+
+    def append(self, fragment):
+        """The paper's ``+d`` combination operator."""
+        self.fragments.append(fragment)
+        return self
+
+    def ops(self):
+        return [fragment.op for fragment in self.fragments]
+
+    def listing(self):
+        return "\n".join(fragment.describe() for fragment in self.fragments)
+
+    def __len__(self):
+        return len(self.fragments)
+
+
+@dataclass
+class AcceleratorSpec:
+    """The paper's per-domain specification ``(md, +d)`` plus ``Om``/scalar
+    capability sets consumed by Algorithm 1."""
+
+    #: Group-op names translated natively (the entries of ``Om``).
+    supported_ops: frozenset
+    #: Scalar cost classes the ALUs implement (for scalar-lowered nodes).
+    scalar_classes: frozenset
+    #: Operator name -> translation function overrides. Operators without
+    #: an override use the target's generic compute translation.
+    translations: Dict[str, Callable] = field(default_factory=dict)
+    #: Component names accepted wholesale as macro tasks.
+    macro_components: frozenset = frozenset()
+
+
+def _edge_operands(graph, node):
+    """(inputs, outputs, dram_bytes, onchip_bytes) from a node's edges.
+
+    On an accelerator, ``param`` and ``state`` operands live in on-chip
+    scratchpads across invocations (that is exactly what PMLang's type
+    modifiers tell the hardware, §II-A), so only ``input``/``output``
+    operands touch DRAM in steady state; ``local`` intermediates also stay
+    on chip.
+    """
+    inputs, outputs = [], []
+    dram, onchip = 0, 0
+    seen = set()
+    for edge in graph.in_edges(node):
+        key = (edge.src.uid, edge.md.producer_name)
+        if key in seen:
+            continue
+        seen.add(key)
+        inputs.append((edge.md.name, tuple(edge.md.shape)))
+        # Every operand a kernel touches is on chip by the time it runs:
+        # inputs were ingested once through the read FIFO (charged by the
+        # per-invocation ``read_fifo`` fragment), params/state live in
+        # scratchpads across invocations, and locals never leave the chip.
+        # Charging DRAM here again would bill an input stream once per
+        # *statement* instead of once per invocation.
+        onchip += edge.md.nbytes
+    for edge in graph.out_edges(node):
+        key = ("out", edge.md.producer_name)
+        if key in seen:
+            continue
+        seen.add(key)
+        outputs.append((edge.md.producer_name, tuple(edge.md.shape)))
+        onchip += edge.md.nbytes
+    return tuple(inputs), tuple(outputs), dram, onchip
+
+
+class Accelerator(ABC):
+    """A domain-specific accelerator backend.
+
+    Subclasses set ``name``, ``domain``, ``spec`` and ``params`` (a
+    :class:`~repro.hw.cost.HardwareParams`), and may override
+    ``fragment_cost`` to model microarchitectural detail beyond the shared
+    roofline (pipeline fill, reduction-tree depth, systolic utilisation).
+    """
+
+    name = "accelerator"
+    domain = None
+    spec: AcceleratorSpec = None
+    params = None
+
+    def __init__(self, data_hints=None):
+        if self.spec is None or self.params is None:
+            raise TargetError(f"{type(self).__name__} lacks spec/params")
+        self.model = RooflineModel(self.params)
+        #: Workload-supplied cost hints; ``op_scale`` is the ratio of true
+        #: algorithmic work to the dense srDFG lattice (sparse workloads),
+        #: applied identically to every platform's cost model.
+        self.data_hints = dict(data_hints or {})
+
+    # -- Algorithm 1 inputs -----------------------------------------------------
+
+    def om_entry(self):
+        """This target's entry in the lowering map ``Om``."""
+        return set(self.spec.supported_ops) | set(self.spec.macro_components)
+
+    def scalar_entry(self):
+        return set(self.spec.scalar_classes)
+
+    # -- Algorithm 2: node -> IR fragment -----------------------------------------
+
+    def translate_node(self, graph, node):
+        """Translation function ``t(srdfg, n)`` for this target."""
+        override = self.spec.translations.get(node.name)
+        if override is not None:
+            return override(self, graph, node)
+        if node.kind == COMPUTE:
+            return self.translate_compute(graph, node)
+        if node.kind == COMPONENT:
+            return self.translate_macro(graph, node)
+        if node.kind == CONST:
+            return IRFragment(
+                op="const",
+                target=self.name,
+                domain=node.domain,
+                attrs={"value": node.attrs.get("value")},
+            )
+        if node.kind == VAR:
+            return self.translate_var(graph, node)
+        raise TargetError(f"{self.name} cannot translate node kind {node.kind}")
+
+    def translate_var(self, graph, node):
+        modifier = node.attrs.get("modifier", LOCAL)
+        op = {
+            "input": "read_fifo",
+            "output": "write_fifo",
+            "state": "alloc_onchip",
+            "param": "load_const_buf",
+        }.get(modifier, "alloc_local")
+        return IRFragment(
+            op=op,
+            target=self.name,
+            domain=node.domain,
+            outputs=((node.name, tuple(node.attrs.get("shape", ()))),),
+            attrs={
+                "dtype": node.attrs.get("dtype"),
+                "modifier": modifier,
+                "nbytes": _var_nbytes(node),
+            },
+        )
+
+    def translate_compute(self, graph, node):
+        descriptor = node.attrs["descriptor"]
+        inputs, outputs, dram, onchip = _edge_operands(graph, node)
+        lowered = node.attrs.get("lowered", "group")
+        op = node.name if lowered != "scalar" else f"scalar_dfg[{node.name}]"
+        return IRFragment(
+            op=op,
+            target=self.name,
+            domain=node.domain,
+            inputs=inputs,
+            outputs=outputs,
+            attrs={
+                "op_counts": dict(descriptor.op_counts),
+                "free_size": descriptor.free_size,
+                "reduce_size": descriptor.reduce_size,
+                "lowered": lowered,
+                "dram_bytes": dram,
+                "onchip_bytes": onchip,
+                "node_uid": node.uid,
+            },
+        )
+
+    def translate_macro(self, graph, node):
+        inputs, outputs, dram, onchip = _edge_operands(graph, node)
+        op_counts = {}
+        for _, sub_node in node.subgraph.walk():
+            descriptor = sub_node.attrs.get("descriptor")
+            if descriptor is None:
+                continue
+            for cost_class, count in descriptor.op_counts.items():
+                op_counts[cost_class] = op_counts.get(cost_class, 0) + count
+        return IRFragment(
+            op=f"task[{node.name}]",
+            target=self.name,
+            domain=node.domain,
+            inputs=inputs,
+            outputs=outputs,
+            attrs={
+                "op_counts": op_counts,
+                "dram_bytes": dram,
+                "onchip_bytes": onchip,
+                "node_uid": node.uid,
+            },
+        )
+
+    # -- cost --------------------------------------------------------------------
+
+    def fragment_cost(self, fragment):
+        """PerfStats for executing one fragment once (steady state).
+
+        ``param``/``state`` buffers are preloaded once per run, not per
+        invocation, so their var fragments are free here; streamed
+        ``input``/``output`` FIFOs are charged per invocation.
+        """
+        op_counts = fragment.attrs.get("op_counts")
+        if not op_counts:
+            nbytes = fragment.attrs.get("nbytes", 0)
+            if fragment.op in ("read_fifo", "write_fifo"):
+                return self.model.transfer_cost(nbytes, label=fragment.op)
+            return PerfStats()
+        scale = self.data_hints.get("op_scale", 1.0)
+        if scale != 1.0:
+            op_counts = {cls: count * scale for cls, count in op_counts.items()}
+        return self.model.kernel_cost(
+            op_counts,
+            fragment.attrs.get("dram_bytes", 0) * min(1.0, scale),
+            fragment.attrs.get("onchip_bytes", 0) * min(1.0, scale),
+            label=fragment.op,
+        )
+
+    def resident_footprint(self, program):
+        """Bytes of ``param``/``state`` data the program pins on chip."""
+        return sum(
+            fragment.attrs.get("nbytes", 0)
+            for fragment in program.fragments
+            if fragment.op in ("alloc_onchip", "load_const_buf")
+        )
+
+    def estimate(self, program):
+        """PerfStats for one execution of *program*.
+
+        When the program's resident ``param``/``state`` footprint exceeds
+        the device's on-chip capacity (Table VI), the excess spills: those
+        bytes stream from DRAM every invocation instead of staying
+        resident, exactly like TABLA re-streaming a training set that
+        outgrows BRAM.
+        """
+        stats = PerfStats()
+        for fragment in program.fragments:
+            stats.add(self.fragment_cost(fragment))
+        capacity = self.params.onchip_capacity_bytes
+        if capacity:
+            excess = self.resident_footprint(program) - capacity
+            if excess > 0:
+                scale = self.data_hints.get("op_scale", 1.0)
+                stats.add(
+                    self.model.transfer_cost(
+                        excess * min(1.0, scale), label="spill"
+                    )
+                )
+        return stats
+
+    # -- functional simulation ------------------------------------------------------
+
+    def simulate(self, lowered_graph, program, inputs=None, params=None, state=None):
+        """Run the program functionally and return (result, PerfStats)."""
+        result = Executor(lowered_graph).run(
+            inputs=inputs, params=params, state=state
+        )
+        return result, self.estimate(program)
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name} domain={self.domain}>"
+
+
+def _var_nbytes(node):
+    from ..srdfg.metadata import DTYPE_BYTES
+
+    shape = node.attrs.get("shape", ())
+    count = 1
+    for dim in shape:
+        count *= dim
+    return count * DTYPE_BYTES.get(node.attrs.get("dtype", "float"), 4)

@@ -1,0 +1,276 @@
+"""Algorithm 2 — ``CompileProgram`` — and the top-level PolyMath driver.
+
+``compile_to_targets`` walks a lowered srDFG in dataflow order, applies
+each node's domain-appropriate translation function, accumulates fragments
+into per-domain accelerator programs (``pi_d1 ... pi_dn``), and inserts
+``load``/``store`` fragments wherever an edge crosses a domain boundary —
+that is exactly the loop structure of Algorithm 2 in the paper.
+
+:class:`PolyMath` is the user-facing compiler: PMLang source in, a
+:class:`CompiledApplication` out, with per-domain programs, the lowered
+(but still executable) srDFG, and the accelerator set needed to simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import TargetError
+from ..hw.cost import PerfStats
+from ..passes import default_pipeline
+from ..passes.lowering import lower
+from ..srdfg.builder import build
+from ..srdfg.graph import VAR
+from .base import Accelerator, AcceleratorProgram, IRFragment
+
+
+def compile_to_targets(srdfg, accelerators):
+    """Algorithm 2: translate a lowered srDFG into per-domain programs.
+
+    *accelerators* maps domain names to :class:`Accelerator` instances
+    (the paper's ``AccSpec``). Returns ``{domain: AcceleratorProgram}``.
+    """
+    programs: Dict[str, AcceleratorProgram] = {}
+
+    def program_for(domain):
+        if domain not in programs:
+            accelerator = accelerators.get(domain)
+            if accelerator is None:
+                raise TargetError(
+                    f"no accelerator specification for domain {domain!r}"
+                )
+            programs[domain] = AcceleratorProgram(
+                target=accelerator.name, domain=domain
+            )
+        return programs[domain]
+
+    for node in srdfg.topological_order():
+        domain = node.domain or srdfg.domain
+
+        if node.kind == VAR:
+            # Boundary data belongs to whoever touches it: ingestion
+            # (read_fifo/scratchpad fill) is charged to each consuming
+            # kernel's domain, write-back to the producing kernel's.
+            touching = set()
+            for out_edge in srdfg.out_edges(node):
+                if out_edge.dst.kind != VAR:
+                    touching.add(out_edge.dst.domain or srdfg.domain)
+            for in_edge in srdfg.in_edges(node):
+                if in_edge.src.kind != VAR and in_edge.src.uid != node.uid:
+                    touching.add(in_edge.src.domain or srdfg.domain)
+            if not touching:
+                touching = {domain}
+            for touch_domain in sorted(touching):
+                accelerator = accelerators.get(touch_domain)
+                if accelerator is None:
+                    raise TargetError(
+                        f"no accelerator specification for domain {touch_domain!r}"
+                    )
+                program_for(touch_domain).append(
+                    accelerator.translate_node(srdfg, node)
+                )
+            continue
+
+        accelerator = accelerators.get(domain)
+        if accelerator is None:
+            raise TargetError(f"no accelerator specification for domain {domain!r}")
+        pi_d = program_for(domain)
+
+        # Loads for operands produced by a *kernel* in another domain.
+        # Boundary var nodes are host/DRAM-resident data: reading them is
+        # the ordinary FIFO/scratchpad ingestion already modelled by the
+        # var fragments, not an accelerator-to-accelerator transfer.
+        for in_edge in srdfg.in_edges(node):
+            if in_edge.src.kind == VAR:
+                continue
+            src_domain = in_edge.src.domain or srdfg.domain
+            if src_domain != domain:
+                pi_d.append(
+                    IRFragment(
+                        op="load",
+                        target=accelerator.name,
+                        domain=domain,
+                        inputs=((in_edge.md.name, tuple(in_edge.md.shape)),),
+                        attrs={
+                            "nbytes": in_edge.md.nbytes,
+                            "from_domain": src_domain,
+                            "crossing": True,
+                        },
+                    )
+                )
+
+        pi_d.append(accelerator.translate_node(srdfg, node))
+
+        # Stores for results consumed by a kernel in another domain.
+        # Var nodes never emit transfers themselves (their data is
+        # host-resident; ingestion is the consumer-side var fragment).
+        stored = set()
+        for out_edge in srdfg.out_edges(node):
+            if out_edge.dst.kind == VAR or node.kind == VAR:
+                continue
+            dst_domain = out_edge.dst.domain or srdfg.domain
+            if dst_domain != domain and out_edge.md.producer_name not in stored:
+                stored.add(out_edge.md.producer_name)
+                pi_d.append(
+                    IRFragment(
+                        op="store",
+                        target=accelerator.name,
+                        domain=domain,
+                        outputs=((out_edge.md.producer_name, tuple(out_edge.md.shape)),),
+                        attrs={
+                            "nbytes": out_edge.md.nbytes,
+                            "to_domain": dst_domain,
+                            "crossing": True,
+                        },
+                    )
+                )
+
+    return programs
+
+
+@dataclass
+class CompiledApplication:
+    """Result of compiling one PMLang program for a set of accelerators."""
+
+    graph: object  # lowered srDFG (still executable)
+    programs: Dict[str, AcceleratorProgram]
+    accelerators: Dict[str, Accelerator]
+    source_graph: object = None  # pre-lowering srDFG
+
+    def run(self, inputs=None, params=None, state=None):
+        """Execute functionally; returns (ExecutionResult, PerfStats).
+
+        Performance composes sequentially across fragments, charging each
+        domain's fragments to its own accelerator and cross-domain
+        load/store fragments to the DMA model (§V-A3's host-managed DMA).
+        """
+        from ..srdfg.interpreter import Executor
+
+        result = Executor(self.graph).run(inputs=inputs, params=params, state=state)
+        total = PerfStats()
+        per_domain = {}
+        for domain, program in self.programs.items():
+            accelerator = self.accelerators[domain]
+            stats = accelerator.estimate(program)
+            per_domain[domain] = stats
+            total.add(stats)
+        return result, total, per_domain
+
+    def profile(self, top=10):
+        """Per-fragment cost table, hottest first.
+
+        Returns ``(rows, total)`` where each row is
+        ``(domain, op, seconds, share)`` — the accelerator-side profile a
+        performance engineer would ask for first.
+        """
+        entries = []
+        total = 0.0
+        for domain, program in self.programs.items():
+            accelerator = self.accelerators[domain]
+            for fragment in program.fragments:
+                if fragment.attrs.get("crossing"):
+                    cost = accelerator.model.transfer_cost(
+                        fragment.attrs.get("nbytes", 0), label=fragment.op
+                    )
+                else:
+                    cost = accelerator.fragment_cost(fragment)
+                if cost.seconds > 0:
+                    entries.append((domain, fragment.op, cost.seconds))
+                    total += cost.seconds
+        entries.sort(key=lambda item: item[2], reverse=True)
+        rows = [
+            (domain, op, seconds, seconds / total if total else 0.0)
+            for domain, op, seconds in entries[:top]
+        ]
+        return rows, total
+
+    def profile_report(self, top=10):
+        """Human-readable rendering of :meth:`profile`."""
+        rows, total = self.profile(top=top)
+        lines = [f"{'domain':10s} {'fragment':28s} {'time':>12s} {'share':>7s}"]
+        for domain, op, seconds, share in rows:
+            lines.append(
+                f"{domain:10s} {op:28s} {seconds * 1e6:9.3f} us {share:6.1%}"
+            )
+        lines.append(f"total accelerator time: {total * 1e6:.3f} us per invocation")
+        return "\n".join(lines)
+
+    def communication_stats(self):
+        """PerfStats of only the cross-domain load/store fragments."""
+        total = PerfStats()
+        for domain, program in self.programs.items():
+            accelerator = self.accelerators[domain]
+            for fragment in program.fragments:
+                if fragment.attrs.get("crossing") and fragment.op == "load":
+                    total.add(
+                        accelerator.model.transfer_cost(
+                            fragment.attrs.get("nbytes", 0), label="xdma"
+                        )
+                    )
+        return total
+
+
+def retag_component_domain(graph, component_name, domain):
+    """Relabel one component instantiation (and everything inside it).
+
+    The paper's domain annotations are per-instantiation; OptionPricing
+    additionally assigns two Data-Analytics kernels to *different*
+    accelerators (LR on TABLA, Black-Scholes on HyperStreams). Relabelling
+    the Black-Scholes instantiation with a private domain tag lets
+    Algorithm 1/2 route it to its own AccSpec without changing either
+    algorithm.
+    """
+
+    def retag(node):
+        node.domain = domain
+        if node.subgraph is not None:
+            node.subgraph.domain = domain
+            for sub in node.subgraph.nodes:
+                retag(sub)
+
+    for node in graph.nodes:
+        if node.kind == "component":
+            if node.name == component_name:
+                retag(node)
+            elif node.subgraph is not None:
+                retag_component_domain(node.subgraph, component_name, domain)
+    return graph
+
+
+class PolyMath:
+    """The cross-domain compiler: PMLang -> srDFG -> passes -> targets."""
+
+    def __init__(self, accelerators, run_pipeline=True):
+        self.accelerators = dict(accelerators)
+        self.run_pipeline = run_pipeline
+
+    def compile(self, source, entry="main", domain=None, component_domains=None):
+        """Compile PMLang *source*; returns :class:`CompiledApplication`.
+
+        *component_domains* optionally remaps named component
+        instantiations to custom domain tags (see
+        :func:`retag_component_domain`).
+        """
+        graph = build(source, entry=entry, domain=domain)
+        # Keep an untouched multi-granularity graph for inspection/tests;
+        # passes and lowering mutate their input in place.
+        source_graph = build(source, entry=entry, domain=domain)
+        for name, tag in (component_domains or {}).items():
+            retag_component_domain(graph, name, tag)
+            retag_component_domain(source_graph, name, tag)
+        if self.run_pipeline:
+            graph = default_pipeline().run(graph).graph
+        om = {name: acc.om_entry() for name, acc in self.accelerators.items()}
+        scalar_om = {
+            name: acc.scalar_entry() for name, acc in self.accelerators.items()
+        }
+        lowered = lower(graph, om, scalar_om)
+        lowered.validate()
+        programs = compile_to_targets(lowered, self.accelerators)
+        return CompiledApplication(
+            graph=lowered,
+            programs=programs,
+            accelerators=self.accelerators,
+            source_graph=source_graph,
+        )

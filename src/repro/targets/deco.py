@@ -1,0 +1,98 @@
+"""DECO backend — DSP-block-based FPGA overlay for signal processing.
+
+Models Jain et al. (FCCM'16): a low-overhead overlay that chains the
+FPGA's hard DSP blocks into stage-based compute pipelines with a
+lightweight interconnect. DECO wants *balanced* dataflow graphs: each
+stage must contain comparable work, so unbalanced srDFG translations pay a
+rebalancing penalty — this is the mechanism behind the paper's observation
+that DECO reaches lower %-of-optimal than other targets (Fig 9).
+
+Supported group ops are the MAC-shaped ones DSP48 cascades execute
+natively: element-wise arithmetic, dot/matvec/contract chains, stencils
+(butterflies are strided stencils), and trig maps via CORDIC slices.
+"""
+
+from __future__ import annotations
+
+from ..hw.cost import HardwareParams
+from .base import Accelerator, AcceleratorSpec
+
+_GROUP_OPS = frozenset(
+    {
+        "copy",
+        "elemwise",
+        "elemwise_add",
+        "elemwise_sub",
+        "elemwise_mul",
+        "elemwise_div",
+        "dot",
+        "matvec",
+        "matmul",
+        "contract",
+        "stencil",
+        "conv2d",
+        "reduce_sum",
+        "reduce_max",
+        "map_sin",
+        "map_cos",
+        "map_exp",
+        "map_sqrt",
+        "map_abs",
+    }
+)
+
+
+class Deco(Accelerator):
+    """DECO: DSP-block overlay for the DSP domain."""
+
+    name = "deco"
+    domain = "DSP"
+    spec = AcceleratorSpec(
+        supported_ops=_GROUP_OPS,
+        scalar_classes=frozenset({"alu", "mul", "nonlinear"}),
+    )
+    params = HardwareParams(
+        name="DECO (FPGA, KCU1500)",
+        frequency_hz=150e6,
+        # An overlay instance wiring ~1024 of the KCU1500's 5520 DSP48s
+        # into MAC chains; CORDIC slices handle sin/cos.
+        throughput={"alu": 1024.0, "mul": 1024.0, "div": 32.0, "nonlinear": 128.0},
+        power_w=6.0,
+        static_fraction=0.35,
+        dram_bw=19.2e9,
+        onchip_bw=400e9,
+        dispatch_overhead_s=2e-7,  # stage reconfiguration between kernels
+        onchip_capacity_bytes=64 * 1024 * 1024,
+        efficiency=0.7,
+    )
+
+    #: Penalty factor applied to statements whose stage structure is
+    #: unbalanced (fused multi-reduction statements).
+    rebalance_penalty = 1.3
+    #: Blocked matrix-style contractions underuse the streaming MAC
+    #: chains (the paper singles out DCT's "high coarse granular matrix
+    #: multiplications for which DECO ... is not as effective").
+    matrix_ops = ("contract", "matmul", "matvec", "conv2d", "stencil", "dot")
+    matrix_slowdown = 4.0
+
+    def fragment_cost(self, fragment):
+        stats = super().fragment_cost(fragment)
+        counts = fragment.attrs.get("op_counts") if fragment.attrs else None
+        if counts:
+            if fragment.op in self.matrix_ops:
+                extra = stats.seconds * (self.matrix_slowdown - 1.0)
+                stats.seconds += extra
+                stats.breakdown["rebalance"] = (
+                    stats.breakdown.get("rebalance", 0.0) + extra
+                )
+            else:
+                mul = counts.get("mul", 0)
+                alu = counts.get("alu", 0)
+                balanced = mul > 0 and alu > 0 and 0.5 <= (mul / max(1, alu)) <= 2.0
+                if not balanced:
+                    extra = stats.seconds * (self.rebalance_penalty - 1.0)
+                    stats.seconds += extra
+                    stats.breakdown["rebalance"] = (
+                        stats.breakdown.get("rebalance", 0.0) + extra
+                    )
+        return stats

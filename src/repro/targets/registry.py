@@ -1,0 +1,53 @@
+"""Domain -> accelerator registry (Table V of the paper)."""
+
+from __future__ import annotations
+
+from ..errors import TargetError
+from .deco import Deco
+from .graphicionado import Graphicionado
+from .hyperstreams import HyperStreams
+from .robox import Robox
+from .tabla import Tabla
+from .vta import Vta
+
+#: Accelerator classes by name.
+ACCELERATORS = {
+    "robox": Robox,
+    "graphicionado": Graphicionado,
+    "tabla": Tabla,
+    "deco": Deco,
+    "vta": Vta,
+    "hyperstreams": HyperStreams,
+}
+
+#: Default domain assignment (Table V). HyperStreams replaces TABLA for
+#: the DA domain in the OptionPricing application.
+DEFAULT_BY_DOMAIN = {
+    "RBT": "robox",
+    "GA": "graphicionado",
+    "DA": "tabla",
+    "DSP": "deco",
+    "DL": "vta",
+}
+
+
+def make_accelerator(name, **kwargs):
+    """Instantiate an accelerator backend by name."""
+    cls = ACCELERATORS.get(name)
+    if cls is None:
+        raise TargetError(
+            f"unknown accelerator {name!r}; available: {sorted(ACCELERATORS)}"
+        )
+    return cls(**kwargs)
+
+
+def default_accelerators(overrides=None):
+    """The Table V domain map as instantiated accelerators.
+
+    *overrides* maps domain name to accelerator name (e.g.
+    ``{"DA": "hyperstreams"}`` for OptionPricing's Black-Scholes kernel).
+    """
+    chosen = dict(DEFAULT_BY_DOMAIN)
+    if overrides:
+        chosen.update(overrides)
+    return {domain: make_accelerator(name) for domain, name in chosen.items()}

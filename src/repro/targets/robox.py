@@ -1,0 +1,76 @@
+"""ROBOX backend — programmable ASIC for MPC-based autonomous control.
+
+Models the accelerator of Sacks et al. (ISCA'18) used by the paper for the
+Robotics domain: a macro-dataflow machine whose hierarchy goes *System* ->
+*Task* -> macro-DFG operations at Vector/Scalar/Group granularity. For
+lowering this means ROBOX accepts group operations wholesale (matvec,
+matmul, elementwise vectors, non-linear maps, group reductions) and can
+even accept whole components as macro tasks.
+
+Hardware model: 256 MAC-capable compute units at 1 GHz with dedicated
+non-linear units, 512 KB of on-chip task memory, 3.4 W (Table VI).
+"""
+
+from __future__ import annotations
+
+from ..hw.cost import HardwareParams
+from .base import Accelerator, AcceleratorSpec
+
+#: Group operations the macro-DFG executes natively.
+_GROUP_OPS = frozenset(
+    {
+        "copy",
+        "elemwise",
+        "elemwise_add",
+        "elemwise_sub",
+        "elemwise_mul",
+        "elemwise_div",
+        "elemwise_pow",
+        "matvec",
+        "matmul",
+        "dot",
+        "contract",
+        "stencil",
+        "reduce_sum",
+        "reduce_prod",
+        "reduce_max",
+        "reduce_min",
+        "map_sin",
+        "map_cos",
+        "map_tan",
+        "map_atan2",
+        "map_exp",
+        "map_sqrt",
+        "map_abs",
+        "map_gaussian",
+        "map_tanh",
+        "map_sigmoid",
+    }
+)
+
+
+class Robox(Accelerator):
+    """ROBOX: macro-dataflow control accelerator (Robotics domain)."""
+
+    name = "robox"
+    domain = "RBT"
+    spec = AcceleratorSpec(
+        supported_ops=_GROUP_OPS,
+        scalar_classes=frozenset({"alu", "mul", "div", "nonlinear"}),
+    )
+    params = HardwareParams(
+        name="ROBOX (ASIC)",
+        frequency_hz=1.0e9,
+        # 256 units issue one MAC (mul+add) per cycle; a handful of
+        # dedicated CORDIC-style units cover transcendentals.
+        throughput={"alu": 256.0, "mul": 256.0, "div": 16.0, "nonlinear": 32.0},
+        power_w=3.4,
+        static_fraction=0.25,
+        dram_bw=12.8e9,
+        onchip_bw=512e9,
+        # Static task schedule: dispatch is a table lookup, not a driver
+        # call.
+        dispatch_overhead_s=5e-8,
+        onchip_capacity_bytes=512 * 1024,  # Table VI: 512 KB task memory
+        efficiency=0.7,
+    )

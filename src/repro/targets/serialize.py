@@ -1,0 +1,103 @@
+"""Serialisation of compiled accelerator programs.
+
+Algorithm 2's output — the per-domain ``AcceleratorProgram`` fragment
+streams — is the artifact handed to each accelerator's own backend for
+"final binary generation" (§IV). This module gives that artifact a stable
+on-disk form: a JSON document per compiled application, with every
+fragment's operator, operands, shapes, and attributes. Loading restores
+``AcceleratorProgram`` objects that cost-estimate identically to the
+originals (property-checked in tests), so compiled applications can be
+archived, diffed, and re-priced without recompilation.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import TargetError
+from .base import AcceleratorProgram, IRFragment
+
+
+def fragment_to_dict(fragment):
+    """Plain-dict form of one IR fragment."""
+    return {
+        "op": fragment.op,
+        "target": fragment.target,
+        "domain": fragment.domain,
+        "inputs": [[name, list(shape)] for name, shape in fragment.inputs],
+        "outputs": [[name, list(shape)] for name, shape in fragment.outputs],
+        "attrs": _jsonable_attrs(fragment.attrs),
+    }
+
+
+def _jsonable_attrs(attrs):
+    clean = {}
+    for key, value in (attrs or {}).items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            clean[key] = value
+        elif isinstance(value, dict):
+            clean[key] = {str(k): float(v) for k, v in value.items()}
+        elif isinstance(value, (list, tuple)):
+            clean[key] = [str(item) for item in value]
+        else:
+            clean[key] = str(value)
+    return clean
+
+
+def fragment_from_dict(payload):
+    return IRFragment(
+        op=payload["op"],
+        target=payload["target"],
+        domain=payload.get("domain"),
+        inputs=tuple((name, tuple(shape)) for name, shape in payload.get("inputs", [])),
+        outputs=tuple(
+            (name, tuple(shape)) for name, shape in payload.get("outputs", [])
+        ),
+        attrs=dict(payload.get("attrs", {})),
+    )
+
+
+def program_to_dict(program):
+    """Plain-dict form of a whole accelerator program."""
+    return {
+        "target": program.target,
+        "domain": program.domain,
+        "fragments": [fragment_to_dict(fragment) for fragment in program.fragments],
+    }
+
+
+def program_from_dict(payload):
+    program = AcceleratorProgram(
+        target=payload["target"], domain=payload.get("domain")
+    )
+    for fragment in payload.get("fragments", []):
+        program.append(fragment_from_dict(fragment))
+    return program
+
+
+def application_to_json(compiled, indent=None):
+    """Serialise a CompiledApplication's per-domain programs to JSON."""
+    payload = {
+        "format": "polymath-accelerator-ir",
+        "version": 1,
+        "programs": {
+            domain: program_to_dict(program)
+            for domain, program in compiled.programs.items()
+        },
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def programs_from_json(text):
+    """Load ``{domain: AcceleratorProgram}`` back from JSON text."""
+    payload = json.loads(text)
+    if payload.get("format") != "polymath-accelerator-ir":
+        raise TargetError("not a polymath accelerator IR document")
+    if payload.get("version") != 1:
+        raise TargetError(
+            f"unsupported accelerator IR version {payload.get('version')!r}"
+        )
+    return {
+        domain: program_from_dict(program)
+        for domain, program in payload.get("programs", {}).items()
+    }

@@ -1,0 +1,73 @@
+"""TABLA backend — template-based FPGA accelerator for ML training.
+
+Models Mahajan et al. (HPCA'16): statistical machine-learning algorithms
+expressed as stochastic-gradient dataflow are mapped onto a template of
+processing engines (PEs) grouped into processing units (PUs), each PE a
+scalar ALU with multiply and lookup-based non-linear support (sigmoid,
+gaussian), plus a hierarchical adder tree for group ``sum`` reductions.
+
+TABLA therefore supports essentially *no* coarse group operations: srDFG
+compute nodes are lowered to scalar granularity (Algorithm 1's
+``lowered="scalar"`` path) and scheduled across the PE array; ``sum``
+reductions ride the adder tree, which we model with a log-depth term.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..hw.cost import HardwareParams
+from .base import Accelerator, AcceleratorSpec
+
+#: The only group ops kept whole: plain data movement and the dedicated
+#: sum tree (dot products / matvecs decompose onto PEs + tree anyway, and
+#: modelling them as scalar DFG matches TABLA's compilation).
+_GROUP_OPS = frozenset({"copy"})
+
+
+class Tabla(Accelerator):
+    """TABLA: FPGA template for data-analytics/ML training (DA domain)."""
+
+    name = "tabla"
+    domain = "DA"
+    spec = AcceleratorSpec(
+        supported_ops=_GROUP_OPS,
+        scalar_classes=frozenset({"alu", "mul", "div", "nonlinear"}),
+    )
+    params = HardwareParams(
+        name="TABLA (FPGA, KCU1500)",
+        frequency_hz=150e6,
+        # The KCU1500 template instance: 64 PUs x 8 PEs = 512 PEs, each
+        # retiring one ALU op or multiply per cycle (the board's 5520
+        # DSP48s support far more; routing limits the template to ~512).
+        # Non-linear ops come from lookup tables shared per PU.
+        throughput={"alu": 512.0, "mul": 512.0, "div": 64.0, "nonlinear": 64.0},
+        power_w=8.0,
+        static_fraction=0.35,
+        dram_bw=19.2e9,
+        onchip_bw=300e9,
+        dispatch_overhead_s=2e-7,  # per-kernel schedule sync
+        onchip_capacity_bytes=64 * 1024 * 1024,  # KCU1500 BRAM/URAM budget
+        efficiency=0.6,
+    )
+
+    #: Width of one PU's hierarchical adder tree and the number of PUs
+    #: (= parallel trees) in the template instance.
+    adder_tree_width = 8
+    num_trees = 64
+
+    def fragment_cost(self, fragment):
+        stats = super().fragment_cost(fragment)
+        # Group reductions drain through the per-PU adder trees: log-depth
+        # latency per output element, pipelined across the PU array.
+        reduce_size = fragment.attrs.get("reduce_size", 1) if fragment.attrs else 1
+        if reduce_size > 1:
+            free_size = fragment.attrs.get("free_size", 1)
+            depth = math.ceil(math.log2(max(2, self.adder_tree_width)))
+            drain_cycles = free_size * depth / self.num_trees
+            stats.seconds += drain_cycles / self.params.frequency_hz
+            stats.breakdown["adder_tree"] = (
+                stats.breakdown.get("adder_tree", 0.0)
+                + drain_cycles / self.params.frequency_hz
+            )
+        return stats

@@ -1,0 +1,128 @@
+"""VTA micro-op stream generation.
+
+VTA (Moreau et al.) executes a two-level ISA: the compiler emits CISC-ish
+instructions (LOAD / GEMM / ALU / STORE) whose GEMM bodies expand into
+micro-coded loops over 16x16 tiles. PolyMath's "direct conversion of
+srDFG to the TVM nodes" (§V-B1) lands exactly at this granularity: one
+contraction fragment becomes one tiled GEMM instruction stream.
+
+This module generates that stream for a contraction/conv fragment —
+tile-level LOADs (weights + activations), GEMMs, accumulator ALU ops and
+STOREs — with a cycle estimate that the analytic backend's cost is checked
+against in tests. It is a fidelity layer, not a replacement: the analytic
+model stays the default for speed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+#: GEMM core geometry (16x16 MACs, as in the deployed VTA design).
+TILE = 16
+#: Cycles for one tile GEMM: a (16-output x 16-reduction) block is 256
+#: MACs — one pass of the 16x16 array — plus an issue/drain cycle.
+GEMM_TILE_CYCLES = 2
+#: Cycles to move one tile (256 elements) over the load/store queues.
+TRANSFER_TILE_CYCLES = 8
+
+
+@dataclass
+class MicroOp:
+    """One VTA instruction."""
+
+    kind: str  # "load", "gemm", "alu", "store"
+    operand: str = ""
+    cycles: int = 0
+
+
+@dataclass
+class UopStream:
+    """A fragment's complete micro-op stream."""
+
+    ops: List[MicroOp] = field(default_factory=list)
+    tiles: Tuple[int, int] = (0, 0)  # (output tiles, reduction tiles)
+
+    def count(self, kind):
+        return sum(1 for op in self.ops if op.kind == kind)
+
+    @property
+    def total_cycles(self):
+        """Serial upper bound; load/compute overlap shortens real runs."""
+        return sum(op.cycles for op in self.ops)
+
+    @property
+    def compute_cycles(self):
+        return sum(op.cycles for op in self.ops if op.kind == "gemm")
+
+    @property
+    def overlapped_cycles(self):
+        """With perfect load/compute double buffering: max of the two."""
+        move = sum(op.cycles for op in self.ops if op.kind in ("load", "store"))
+        other = sum(op.cycles for op in self.ops if op.kind == "alu")
+        return max(self.compute_cycles, move) + other
+
+
+def generate_gemm_stream(free_size, reduce_size, label="contract"):
+    """Micro-op stream for a contraction with the given lattice sizes.
+
+    The output space (``free_size`` elements) and reduction space
+    (``reduce_size``) are tiled by the 16x16 GEMM core; every output tile
+    accumulates over every reduction tile.
+    """
+    out_tiles = max(1, math.ceil(free_size / TILE))
+    red_tiles = max(1, math.ceil(reduce_size / TILE))
+    stream = UopStream(tiles=(out_tiles, red_tiles))
+
+    for out_tile in range(out_tiles):
+        # Accumulator reset for this output tile.
+        stream.ops.append(MicroOp(kind="alu", operand="acc.zero", cycles=1))
+        for red_tile in range(red_tiles):
+            stream.ops.append(
+                MicroOp(
+                    kind="load",
+                    operand=f"wgt[{out_tile},{red_tile}]",
+                    cycles=TRANSFER_TILE_CYCLES,
+                )
+            )
+            stream.ops.append(
+                MicroOp(
+                    kind="load",
+                    operand=f"inp[{red_tile}]",
+                    cycles=TRANSFER_TILE_CYCLES,
+                )
+            )
+            stream.ops.append(
+                MicroOp(
+                    kind="gemm",
+                    operand=f"{label}[{out_tile},{red_tile}]",
+                    cycles=GEMM_TILE_CYCLES,
+                )
+            )
+        stream.ops.append(
+            MicroOp(
+                kind="store",
+                operand=f"out[{out_tile}]",
+                cycles=TRANSFER_TILE_CYCLES,
+            )
+        )
+    return stream
+
+
+def stream_for_fragment(fragment):
+    """Micro-op stream for a translated contraction fragment."""
+    attrs = fragment.attrs or {}
+    return generate_gemm_stream(
+        attrs.get("free_size", 1), attrs.get("reduce_size", 1), label=fragment.op
+    )
+
+
+def listing(stream, limit=12):
+    """Readable instruction listing (truncated)."""
+    lines = [f"{op.kind:5s} {op.operand:24s} {op.cycles:3d} cyc" for op in stream.ops]
+    if len(lines) > limit:
+        head = lines[: limit // 2]
+        tail = lines[-limit // 2 :]
+        lines = head + [f"... {len(stream.ops) - limit} more ..."] + tail
+    return "\n".join(lines)

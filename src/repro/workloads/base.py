@@ -1,0 +1,191 @@
+"""Workload abstraction shared by all benchmarks (Table III / Table IV).
+
+A workload bundles a PMLang program, its parameter data (synthetic
+datasets), a driver that threads state across invocations, a reference
+implementation, and the data hints the cost models need. The evaluation
+harness consumes workloads uniformly:
+
+* ``check_functional()`` — compile, execute a few invocations through the
+  srDFG interpreter, and compare against the numpy reference;
+* ``perf_iterations`` — how many invocations one *paper-scale* run
+  performs (an MPC run is 1024 control steps; a k-means run is 20 Lloyd
+  iterations; an FFT is a single transform), used to scale per-invocation
+  PerfStats analytically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..srdfg.builder import build
+from ..srdfg.interpreter import Executor
+
+
+def substitute(template, **values):
+    """Fill ``{name}`` placeholders without disturbing code braces.
+
+    Unlike ``str.format``, only placeholders whose names are passed are
+    replaced, so PMLang's ``{``/``}`` block delimiters need no escaping.
+    """
+    import re
+
+    def replace(match):
+        key = match.group(1)
+        if key in values:
+            return str(values[key])
+        return match.group(0)
+
+    return re.sub(r"\{(\w+)\}", replace, template)
+
+
+def count_loc(source):
+    """Lines of code of a PMLang/Python source (non-blank, non-comment)."""
+    total = 0
+    for line in source.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith(("//", "#")):
+            continue
+        total += 1
+    return total
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a functional validation run."""
+
+    ok: bool
+    error: float
+    detail: str = ""
+
+
+class Workload:
+    """One benchmark: program + data + driver + oracle."""
+
+    #: Table III metadata.
+    name = "workload"
+    domain = "DA"
+    algorithm = ""
+    config = ""
+
+    #: Invocations for one paper-scale run (scales PerfStats).
+    perf_iterations = 1
+    #: Invocations actually executed during functional validation.
+    functional_steps = 1
+    #: Relative tolerance for the reference comparison.
+    rtol = 1e-6
+    atol = 1e-8
+
+    #: Accelerator overrides, e.g. {"DA": "hyperstreams"}.
+    accelerator_overrides: Dict[str, str] = {}
+
+    def source(self):
+        """PMLang program text."""
+        raise NotImplementedError
+
+    def params(self):
+        """Constant ``param`` values for every invocation."""
+        return {}
+
+    def initial_state(self):
+        """Initial ``state`` values (zeros by default)."""
+        return {}
+
+    def inputs(self, step, previous):
+        """``input`` values for invocation *step* (*previous* is the last
+        ExecutionResult, None on the first call)."""
+        return {}
+
+    def hints(self):
+        """Cost-model hints: op_scale, vertices/edges for graph targets."""
+        return {}
+
+    def reference(self):
+        """Reference result to compare the functional run against."""
+        raise NotImplementedError
+
+    def extract(self, results):
+        """Observable value from the invocation history for comparison."""
+        raise NotImplementedError
+
+    # -- shared machinery -------------------------------------------------------
+
+    @property
+    def pmlang_loc(self):
+        return count_loc(self.source())
+
+    def build_graph(self):
+        return build(self.source(), domain=self.domain)
+
+    def run_functional(self, graph=None, steps=None):
+        """Execute the program for *steps* invocations, threading state.
+
+        Returns the list of ExecutionResults.
+        """
+        if graph is None:
+            graph = self.build_graph()
+        executor = Executor(graph)
+        state = {
+            key: np.asarray(value)
+            for key, value in self.initial_state().items()
+        }
+        params = self.params()
+        results = []
+        previous = None
+        for step in range(steps if steps is not None else self.functional_steps):
+            result = executor.run(
+                inputs=self.inputs(step, previous), params=params, state=state
+            )
+            state = result.state
+            results.append(result)
+            previous = result
+        return results
+
+    def check_functional(self, graph=None):
+        """Validate srDFG execution against the reference implementation."""
+        results = self.run_functional(graph=graph)
+        measured = self.extract(results)
+        expected = self.reference()
+        measured = np.asarray(measured, dtype=np.float64)
+        expected = np.asarray(expected, dtype=np.float64)
+        if measured.shape != expected.shape:
+            return CheckResult(
+                ok=False,
+                error=float("inf"),
+                detail=f"shape mismatch {measured.shape} vs {expected.shape}",
+            )
+        denom = np.maximum(np.abs(expected), 1.0)
+        error = float(np.max(np.abs(measured - expected) / denom))
+        ok = bool(
+            np.allclose(measured, expected, rtol=self.rtol, atol=self.atol)
+        )
+        return CheckResult(ok=ok, error=error)
+
+
+#: Global registry: name -> factory.
+_REGISTRY: Dict[str, Callable[[], Workload]] = {}
+
+
+def register(factory):
+    """Class decorator registering a workload under its ``name``."""
+    instance_name = factory.name
+    if instance_name in _REGISTRY:
+        raise WorkloadError(f"duplicate workload {instance_name!r}")
+    _REGISTRY[instance_name] = factory
+    return factory
+
+
+def get_workload(name, **kwargs):
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return factory(**kwargs)
+
+
+def workload_names():
+    return sorted(_REGISTRY)

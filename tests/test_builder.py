@@ -1,0 +1,196 @@
+"""Unit tests for AST -> srDFG construction (shape binding, SSA edges)."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.pmlang.parser import parse
+from repro.srdfg import build, eval_static
+from repro.srdfg.graph import COMPONENT, COMPUTE, VAR
+
+
+class TestEvalStatic:
+    def test_arithmetic(self):
+        expr = parse("main(input float x[2*3+1]) { }").components["main"].args[0].dims[0]
+        assert eval_static(expr, {}) == 7
+
+    def test_names_from_env(self):
+        expr = parse("main(input float x[n-1]) { }").components["main"].args[0].dims[0]
+        assert eval_static(expr, {"n": 9}) == 8
+
+    def test_log2_supported(self):
+        expr = parse("main(input float x[log2(8)]) { }").components["main"].args[0].dims[0]
+        assert eval_static(expr, {}) == 3
+
+    def test_power(self):
+        expr = parse("main(input float x[2^5]) { }").components["main"].args[0].dims[0]
+        assert eval_static(expr, {}) == 32
+
+    def test_unbound_name_raises(self):
+        expr = parse("main(input float x[n]) { }").components["main"].args[0].dims[0]
+        with pytest.raises(ShapeError, match="compile-time"):
+            eval_static(expr, {})
+
+    def test_ternary(self):
+        expr = parse("main(input float x[1 < 2 ? 4 : 8]) { }").components["main"].args[0].dims[0]
+        assert eval_static(expr, {}) == 4
+
+
+class TestBoundaryNodes:
+    def test_var_nodes_created_per_arg(self, mpc_source):
+        graph = build(mpc_source, domain="RBT")
+        names = {node.name for node in graph.var_nodes()}
+        assert {"pos", "ctrl_mdl", "pos_ref", "P", "HQ_g", "H", "R_g", "ctrl_sgnl"} <= names
+
+    def test_state_has_self_edge(self, mpc_source):
+        graph = build(mpc_source, domain="RBT")
+        self_edges = graph.state_edges()
+        assert len(self_edges) == 1
+        assert self_edges[0].md.name == "ctrl_mdl"
+        assert self_edges[0].md.modifier == "state"
+
+    def test_shapes_resolved(self, mpc_source):
+        graph = build(mpc_source, domain="RBT")
+        assert graph.vars["P"].shape == (30, 3)
+        assert graph.vars["pos_pred"].shape == (30,)
+
+    def test_domain_annotation_propagates(self, mpc_source):
+        graph = build(mpc_source, domain="RBT")
+        for node in graph.component_nodes():
+            assert node.domain == "RBT"
+            assert node.subgraph.domain == "RBT"
+
+
+class TestShapeUnification:
+    def test_dim_symbols_bound_from_actuals(self, mpc_source):
+        graph = build(mpc_source, domain="RBT")
+        grad = next(
+            node for node in graph.component_nodes()
+            if node.name == "compute_ctrl_grad"
+        )
+        # Two distinct mvmul instantiations with different bound shapes.
+        mvmuls = grad.subgraph.component_nodes()
+        shapes = sorted(sub.subgraph.vars["A"].shape for sub in mvmuls)
+        assert shapes == [(20, 20), (20, 30)]
+
+    def test_each_instantiation_gets_own_graph(self, mpc_source):
+        graph = build(mpc_source, domain="RBT")
+        grad = next(
+            node for node in graph.component_nodes()
+            if node.name == "compute_ctrl_grad"
+        )
+        first, second = grad.subgraph.component_nodes()
+        assert first.subgraph is not second.subgraph
+
+    def test_rank_mismatch_raises(self):
+        source = (
+            "f(input float a[n][m], output float y[n]) "
+            "{ index i[0:n-1], j[0:m-1]; y[i] = sum[j](a[i][j]); }\n"
+            "main(input float x[4], output float y[4]) { f(x, y); }"
+        )
+        with pytest.raises(ShapeError, match="rank"):
+            build(source)
+
+    def test_dim_conflict_raises(self):
+        source = (
+            "f(input float a[n], input float b[n], output float y[n]) "
+            "{ index i[0:n-1]; y[i] = a[i] + b[i]; }\n"
+            "main(input float x[4], input float z[5], output float y[4]) "
+            "{ f(x, z, y); }"
+        )
+        with pytest.raises(ShapeError, match="mismatch"):
+            build(source)
+
+    def test_const_param_folds_into_static_env(self, mpc_source):
+        graph = build(mpc_source, domain="RBT")
+        update = next(
+            node for node in graph.component_nodes()
+            if node.name == "update_ctrl_model"
+        )
+        assert update.subgraph.static_env["h"] == 10
+        # h never becomes a var node inside.
+        assert "h" not in {node.name for node in update.subgraph.var_nodes()}
+
+    def test_const_bound_to_output_rejected(self):
+        source = (
+            "f(input float a[2], output float y[2]) "
+            "{ index i[0:1]; y[i] = a[i]; }\n"
+            "main(input float x[2], output float y[2]) { f(x, y); }"
+        )
+        build(source)  # sanity
+        bad = (
+            "f(input float a[2], output float y) { y = a[0]; }\n"
+            "main(input float x[2], output float y) { f(x, y); }"
+        )
+        build(bad)
+
+
+class TestDataflowEdges:
+    def test_ssa_versioning_orders_statements(self, matvec_source):
+        graph = build(matvec_source)
+        [node] = graph.compute_nodes()
+        consumed = {edge.md.name for edge in graph.in_edges(node)}
+        assert consumed == {"A", "x"}
+
+    def test_partial_write_consumes_previous_version(self):
+        source = (
+            "main(input float x[4], output float y[4]) {"
+            " index i[0:3], j[0:1];"
+            " y[i] = x[i];"
+            " y[2*j] = 0; }"
+        )
+        graph = build(source)
+        nodes = graph.compute_nodes()
+        second = nodes[1]
+        assert second.attrs["partial_write"]
+        sources = {edge.src.name for edge in graph.in_edges(second)}
+        assert "copy" in sources or any(
+            edge.src.kind == COMPUTE for edge in graph.in_edges(second)
+        )
+
+    def test_full_write_detection(self):
+        source = (
+            "main(input float x[4], output float y[4]) {"
+            " index i[0:3];"
+            " y[i] = x[i] + 1.0; }"
+        )
+        graph = build(source)
+        [node] = graph.compute_nodes()
+        assert not node.attrs["partial_write"]
+
+    def test_strided_write_is_partial(self):
+        source = (
+            "main(input float x[4], output float y[8]) {"
+            " index i[0:3];"
+            " y[2*i] = x[i]; }"
+        )
+        graph = build(source)
+        [node] = graph.compute_nodes()
+        assert node.attrs["partial_write"]
+
+    def test_writeback_edge_to_output(self, matvec_source):
+        graph = build(matvec_source)
+        output = next(node for node in graph.var_nodes("output"))
+        writers = [
+            edge for edge in graph.edges
+            if edge.dst.uid == output.uid and edge.src.uid != output.uid
+        ]
+        assert len(writers) == 1
+        assert writers[0].src.kind == COMPUTE
+
+    def test_unroll_replicates_statements(self):
+        source = (
+            "main(input float x[4], output float y[4]) {"
+            " index i[0:3];"
+            " y[i] = x[i];"
+            " unroll s[1:3] { y[i] = y[i] + s; } }"
+        )
+        graph = build(source)
+        assert len(graph.compute_nodes()) == 4  # 1 + 3 unrolled
+
+    def test_validate_passes(self, mpc_source):
+        graph = build(mpc_source, domain="RBT")
+        assert graph.validate()
+
+    def test_recursion_depth(self, mpc_source):
+        graph = build(mpc_source, domain="RBT")
+        assert graph.depth() == 2  # main -> compute_ctrl_grad -> mvmul

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def mpc_file(tmp_path, mpc_source):
+    path = tmp_path / "mpc.pm"
+    path.write_text(mpc_source)
+    return str(path)
+
+
+class TestWorkloadsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "MobileRobot" in out
+        assert "BrainStimul" in out
+
+
+class TestCheckCommand:
+    def test_single_workload_passes(self, capsys):
+        assert main(["check", "MobileRobot"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+
+class TestCompileCommand:
+    def test_compile_prints_programs(self, capsys, mpc_file):
+        assert main(["compile", mpc_file, "--domain", "RBT"]) == 0
+        out = capsys.readouterr().out
+        assert "RBT -> robox" in out
+        assert "matvec" in out
+
+
+class TestShowCommand:
+    def test_text_rendering(self, capsys, mpc_file):
+        assert main(["show", mpc_file, "--domain", "RBT"]) == 0
+        out = capsys.readouterr().out
+        assert "srDFG 'main'" in out
+        assert "mvmul" in out
+
+    def test_dot_rendering(self, capsys, mpc_file):
+        assert main(["show", mpc_file, "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+
+class TestTablesAndFigures:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        for table in ("Table I", "Table II", "Table III", "Table IV",
+                      "Table V", "Table VI"):
+            assert table in out
+
+    def test_unknown_figure_rejected(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+
+    def test_single_figure(self, capsys):
+        assert main(["figures", "fig13"]) == 0
+        assert "Figure 13" in capsys.readouterr().out
+
+
+class TestProfileAndDse:
+    def test_profile_command(self, capsys, mpc_file):
+        assert main(["profile", mpc_file, "--domain", "RBT", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "total accelerator time" in out
+
+    def test_dse_command(self, capsys):
+        assert main(
+            ["dse", "MobileRobot", "robox", "--scales", "1,2",
+             "--freqs-mhz", "500,1000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+
+    def test_dse_unknown_accelerator(self, capsys):
+        assert main(["dse", "MobileRobot", "tpu"]) == 2
+
+    def test_save_ir_command(self, capsys, mpc_file, tmp_path):
+        out_path = tmp_path / "ir.json"
+        assert main(
+            ["save-ir", mpc_file, "--domain", "RBT", "--out", str(out_path)]
+        ) == 0
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["format"] == "polymath-accelerator-ir"

@@ -1,0 +1,145 @@
+"""Tests that synthetic datasets have the statistical shape they claim."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datasets import (
+    GraphData,
+    bandlimited_signal,
+    gaussian_clusters,
+    image_batch,
+    mpc_problem,
+    natural_image,
+    option_chain,
+    rating_matrix,
+    rmat_graph,
+    sentiment_features,
+)
+
+
+class TestRmatGraph:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return rmat_graph(1024, 16, seed=1)
+
+    def test_deterministic(self):
+        a = rmat_graph(256, 8, seed=7)
+        b = rmat_graph(256, 8, seed=7)
+        assert np.array_equal(a.adjacency, b.adjacency)
+
+    def test_edge_count_near_target(self, graph):
+        target = 1024 * 16
+        assert 0.5 * target < graph.edges < 1.5 * target
+
+    def test_no_self_loops_from_sampling(self, graph):
+        # The backbone may touch the diagonal's neighbours but sampling
+        # rejects u == v; at most the |V|-1 backbone edges remain off it.
+        assert np.trace(graph.adjacency) == 0
+
+    def test_power_law_degree_skew(self, graph):
+        # Heavy tail: the max in-degree dwarfs the mean (uniform graphs
+        # concentrate near the mean).
+        in_degree = graph.adjacency.sum(axis=0)
+        assert in_degree.max() > 4 * in_degree.mean()
+
+    def test_weights_only_on_edges(self, graph):
+        assert np.all((graph.weights > 0) == (graph.adjacency > 0))
+
+    def test_hints_consistent(self, graph):
+        hints = graph.hints
+        assert hints["edges"] == graph.edges
+        assert hints["op_scale"] == pytest.approx(
+            graph.edges / graph.vertices**2
+        )
+
+    def test_reachability_from_source(self, graph):
+        from repro.workloads.reference import UNREACHED, bfs_levels
+
+        levels = bfs_levels(graph.adjacency, graph.source)
+        # The backbone guarantees everything is reachable.
+        assert np.all(levels < UNREACHED)
+
+
+class TestRatingMatrix:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return rating_matrix(200, 300, 5000, rank=8, seed=2)
+
+    def test_observation_count(self, data):
+        assert data.observed == 5000
+        assert data.mask.sum() == 5000
+
+    def test_ratings_zero_where_unobserved(self, data):
+        assert np.all(data.ratings[data.mask == 0] == 0)
+
+    def test_ratings_in_range(self, data):
+        observed = data.ratings[data.mask == 1]
+        assert observed.min() >= 0.5
+        assert observed.max() <= 5.0
+
+    def test_low_rank_structure_recoverable(self, data):
+        # The dense generator is rank-8 + noise: the top-8 singular values
+        # must dominate.
+        full = rating_matrix(200, 300, 200 * 300, rank=8, seed=2)
+        dense = full.ratings
+        singular = np.linalg.svd(dense - dense.mean(), compute_uv=False)
+        assert singular[:8].sum() > 1.5 * singular[8:].sum()
+
+
+class TestClustersAndSignals:
+    def test_clusters_separable(self):
+        data = gaussian_clusters(600, 16, 3, spread=6.0, seed=3)
+        # Variance around each cluster's own mean (unit Gaussians) is far
+        # below the variance around the grand mean (which includes the
+        # centre spread).
+        grand = ((data.points - data.points.mean(axis=0)) ** 2).mean()
+
+        def around_own_mean(k):
+            members = data.points[data.labels == k]
+            return ((members - members.mean(axis=0)) ** 2).mean()
+
+        intra = np.mean([around_own_mean(k) for k in range(3)])
+        assert intra < grand / 5
+
+    def test_bandlimited_signal_spectrum(self):
+        signal = bandlimited_signal(4096, seed=4)
+        spectrum = np.abs(np.fft.rfft(signal))
+        low = spectrum[: 4096 // 8].sum()
+        high = spectrum[4096 // 4 :].sum()
+        assert low > 5 * high  # energy concentrated below n/8
+
+    def test_natural_image_smoothness(self):
+        image = natural_image(128, 128, seed=5)
+        assert image.min() >= 0 and image.max() <= 255
+        # 1/f spectrum: neighbouring pixels correlate strongly.
+        flat = image - image.mean()
+        corr = np.mean(flat[:, :-1] * flat[:, 1:]) / flat.var()
+        assert corr > 0.5
+
+    def test_image_batch_shape(self):
+        tensor = image_batch(3, 32, 32, seed=6)
+        assert tensor.shape == (3, 32, 32)
+
+
+class TestFinancialAndMisc:
+    def test_option_chain_plausible(self):
+        chain = option_chain(1000, seed=7)
+        assert np.all(chain.spot > 0)
+        assert np.all(chain.maturity > 0)
+        assert np.all(chain.volatility > 0)
+        assert 0 < chain.rate < 0.1
+
+    def test_sentiment_features_zipf_tail(self):
+        frequencies, weights = sentiment_features(4096, seed=8)
+        assert frequencies.shape == weights.shape == (4096,)
+        assert np.all(frequencies >= 0)
+        # Zipf: few heavy words, many light ones.
+        assert np.median(frequencies) < frequencies.mean()
+
+    def test_mpc_problem_shapes(self):
+        problem = mpc_problem(3, 30, 20, 2, seed=9)
+        assert problem["P"].shape == (30, 3)
+        assert problem["H"].shape == (30, 20)
+        assert problem["HQ_g"].shape == (20, 30)
+        assert problem["R_g"].shape == (20, 20)
+        assert problem["pos_ref"].shape == (30,)

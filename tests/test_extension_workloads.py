@@ -1,0 +1,87 @@
+"""Tests for the extension workloads (PageRank, LogisticRegression)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import Harness
+from repro.workloads import EXTENSIONS, get_workload
+
+
+class TestRegistration:
+    def test_extensions_registered(self):
+        for name in EXTENSIONS:
+            assert get_workload(name) is not None
+
+    def test_extensions_not_in_paper_tables(self):
+        from repro.workloads import END_TO_END, SINGLE_DOMAIN
+
+        assert not set(EXTENSIONS) & set(SINGLE_DOMAIN)
+        assert not set(EXTENSIONS) & set(END_TO_END)
+
+
+class TestPageRank:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return get_workload("PageRank")
+
+    def test_matches_reference(self, workload):
+        check = workload.check_functional()
+        assert check.ok, check.error
+
+    def test_ranks_form_a_leaky_distribution(self, workload):
+        results = workload.run_functional(steps=20)
+        rank = results[-1].state["rank"]
+        assert np.all(rank > 0)
+        # Dangling vertices leak mass, so the sum is at most 1.
+        assert rank.sum() <= 1.0 + 1e-9
+
+    def test_high_in_degree_vertices_rank_higher(self, workload):
+        results = workload.run_functional(steps=20)
+        rank = results[-1].state["rank"]
+        in_degree = workload.graph_data.adjacency.sum(axis=0)
+        top = np.argsort(rank)[-10:]
+        bottom = np.argsort(rank)[:10]
+        assert in_degree[top].mean() > in_degree[bottom].mean()
+
+    def test_converges(self, workload):
+        results = workload.run_functional(steps=40)
+        last = results[-1].state["rank"]
+        prev = results[-2].state["rank"]
+        assert np.max(np.abs(last - prev)) < 1e-6
+
+    def test_compiles_to_graphicionado_pipeline(self, workload):
+        harness = Harness()
+        _, app, _ = harness.compiled("PageRank")
+        assert "pipeline" in app.programs["GA"].ops()
+
+
+class TestLogisticRegression:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return get_workload("LogisticRegression")
+
+    def test_matches_reference(self, workload):
+        check = workload.check_functional()
+        assert check.ok, check.error
+
+    def test_training_improves_accuracy(self, workload):
+        initial = workload.accuracy(workload.w0)
+        results = workload.run_functional(steps=60)
+        trained = workload.accuracy(results[-1].state["w"])
+        assert trained > max(initial, 0.6)
+
+    def test_loss_monotone_under_small_lr(self, workload):
+        results = workload.run_functional(steps=6)
+        losses = [float(result.outputs["loss"]) for result in results]
+        assert losses[-1] < losses[0]
+
+    def test_lowers_to_tabla_scalar_dfg(self, workload):
+        harness = Harness()
+        _, app, _ = harness.compiled("LogisticRegression")
+        ops = app.programs["DA"].ops()
+        assert any(op.startswith("scalar_dfg[") for op in ops)
+
+    def test_accelerated_beats_cpu(self):
+        run = Harness().run("LogisticRegression")
+        assert run.runtime_vs_cpu > 1.0
+        assert run.energy_vs_cpu > 1.0

@@ -1,0 +1,101 @@
+"""Tests for the extension layers: DSE, pipelined SoC, execution traces."""
+
+import numpy as np
+import pytest
+
+from repro.eval.dse import DesignPoint, explore, pareto, render
+from repro.hw import SoCRuntime
+from repro.srdfg import Executor, build
+from repro.targets import PolyMath, Robox, default_accelerators
+from repro.workloads import get_workload
+
+
+class TestDesignSpaceExploration:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return explore(
+            "MobileRobot",
+            Robox,
+            {
+                "throughput_scale": [0.25, 1.0, 4.0],
+                "frequency_hz": [0.5e9, 1.0e9],
+            },
+            iterations=1,
+        )
+
+    def test_full_grid_explored(self, points):
+        assert len(points) == 6
+        configs = {tuple(sorted(p.config.items())) for p in points}
+        assert len(configs) == 6
+
+    def test_more_hardware_is_faster(self, points):
+        by_config = {
+            (p.config["throughput_scale"], p.config["frequency_hz"]): p
+            for p in points
+        }
+        assert (
+            by_config[(4.0, 1.0e9)].seconds <= by_config[(0.25, 0.5e9)].seconds
+        )
+
+    def test_pareto_frontier_subset_and_nondominated(self, points):
+        frontier = pareto(points)
+        assert 0 < len(frontier) <= len(points)
+        for a in frontier:
+            for b in points:
+                assert not (
+                    b.seconds < a.seconds and b.energy_j < a.energy_j
+                ), (a.config, b.config)
+
+    def test_render(self, points):
+        text = render(points, title="robox sweep")
+        assert "robox sweep" in text
+        assert "EDP" in text
+
+    def test_edp(self):
+        point = DesignPoint(config={}, seconds=2.0, energy_j=3.0)
+        assert point.edp == 6.0
+
+
+class TestPipelinedSoC:
+    def test_pipelining_bounds_by_slowest_stage(self):
+        workload = get_workload("BrainStimul")
+        accelerators = default_accelerators()
+        app = PolyMath(accelerators).compile(
+            workload.source(), domain=workload.domain
+        )
+        report = SoCRuntime(accelerators).execute(app)
+        assert report.pipelined_seconds <= report.total.seconds
+        assert report.pipelined_seconds >= max(
+            stats.seconds for stats in report.per_domain.values()
+        )
+        assert report.pipeline_speedup >= 1.0
+        # A three-stage chain pipelines to at most 3x.
+        assert report.pipeline_speedup <= len(report.per_domain) + 1
+
+
+class TestExecutionTrace:
+    def test_trace_records_every_node(self, mpc_source, mpc_data):
+        graph = build(mpc_source, domain="RBT")
+        trace = []
+        Executor(graph).run(trace=trace, **mpc_data)
+        assert len(trace) == len(graph.nodes)
+        kinds = {record["kind"] for record in trace}
+        assert {"var", "component"} <= kinds
+
+    def test_trace_shapes_match_outputs(self):
+        graph = build(
+            "main(input float x[4], output float y[4]) {"
+            " index i[0:3]; y[i] = x[i] * 2.0; }"
+        )
+        trace = []
+        Executor(graph).run(inputs={"x": np.ones(4)}, trace=trace)
+        compute = next(r for r in trace if r["kind"] == "compute")
+        assert compute["produced"]["y"][0] == (4,)
+
+    def test_trace_disabled_by_default(self):
+        graph = build(
+            "main(input float x[2], output float y[2]) {"
+            " index i[0:1]; y[i] = x[i]; }"
+        )
+        result = Executor(graph).run(inputs={"x": np.zeros(2)})
+        assert set(result.outputs) == {"y"}

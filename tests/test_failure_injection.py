@@ -1,0 +1,146 @@
+"""Failure-injection tests: every phase fails loudly with its own error."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ExecutionError,
+    LoweringError,
+    PMLangSemanticError,
+    PMLangSyntaxError,
+    PassError,
+    ShapeError,
+    TargetError,
+)
+from repro.hw import HardwareParams
+from repro.passes import PassManager
+from repro.srdfg import Executor, build
+from repro.targets import Accelerator, AcceleratorSpec, PolyMath, default_accelerators
+
+
+class TestFrontEndFailures:
+    def test_lexical_error(self):
+        with pytest.raises(PMLangSyntaxError):
+            build("main(input float x) { x @ 1; }")
+
+    def test_semantic_error_reaches_build(self):
+        with pytest.raises(PMLangSemanticError):
+            build("main(input float x[2]) { index i[0:1]; x[i] = 1.0; }")
+
+    def test_shape_error_on_symbolic_main_dims(self):
+        with pytest.raises(ShapeError, match="compile-time"):
+            build("main(input float x[n], output float y[n]) "
+                  "{ index i[0:n-1]; y[i] = x[i]; }")
+
+    def test_runtime_param_in_index_bound(self):
+        source = (
+            "f(input float x[4], param float k, output float y[4]) {"
+            " index i[0:k-1]; y[i] = x[i]; }\n"
+            "main(input float x[4], param float k, output float y[4]) {"
+            " f(x, k, y); }"
+        )
+        with pytest.raises(ShapeError):
+            build(source)
+
+
+class TestCompilerFailures:
+    class NoNonlinear(Accelerator):
+        """A crippled backend with no transcendental support."""
+
+        name = "no-nl"
+        domain = "DA"
+        spec = AcceleratorSpec(
+            supported_ops=frozenset({"copy"}),
+            scalar_classes=frozenset({"alu", "mul"}),
+        )
+        params = HardwareParams(
+            name="no-nl",
+            frequency_hz=1e8,
+            throughput={"alu": 1.0, "mul": 1.0},
+            power_w=1.0,
+        )
+
+    SIGMOID_SOURCE = (
+        "main(input float x[4], output float y[4]) {"
+        " index i[0:3]; y[i] = sigmoid(x[i]); }"
+    )
+
+    def test_unsupported_scalar_class_fails_compilation(self):
+        # §III-C: "if the nodes ... cannot be lowered to a specific
+        # hardware ... the compilation fails for that accelerator."
+        compiler = PolyMath({"DA": self.NoNonlinear()})
+        with pytest.raises(LoweringError, match="nonlinear"):
+            compiler.compile(self.SIGMOID_SOURCE, domain="DA")
+
+    def test_missing_domain_accelerator(self):
+        compiler = PolyMath({"DA": default_accelerators()["DA"]})
+        source = (
+            "f(input float x[4], output float y[4]) {"
+            " index i[0:3]; y[i] = x[i]; }\n"
+            "main(input float x[4], output float y[4]) { DSP: f(x, y); }"
+        )
+        with pytest.raises((TargetError, LoweringError)):
+            compiler.compile(source, domain="DA")
+
+    def test_pass_failure_is_wrapped(self, mpc_source):
+        from repro.passes.base import Pass
+
+        class Exploding(Pass):
+            name = "exploding"
+
+            def run(self, graph):
+                raise RuntimeError("boom")
+
+        with pytest.raises(PassError, match="exploding"):
+            PassManager([Exploding()]).run(build(mpc_source, domain="RBT"))
+
+
+class TestRuntimeFailures:
+    SOURCE = (
+        "main(input float x[4], param float p[2], state float s[3],"
+        " output float y[4]) {"
+        " index i[0:3]; y[i] = x[i] + p[0] + s[0]; }"
+    )
+
+    def test_missing_param(self):
+        graph = build(self.SOURCE)
+        with pytest.raises(ExecutionError, match="missing param"):
+            Executor(graph).run(inputs={"x": np.zeros(4)})
+
+    def test_bad_state_shape(self):
+        graph = build(self.SOURCE)
+        with pytest.raises(ExecutionError, match="shape"):
+            Executor(graph).run(
+                inputs={"x": np.zeros(4)},
+                params={"p": np.zeros(2)},
+                state={"s": np.zeros(7)},
+            )
+
+    def test_nan_inputs_propagate_not_crash(self):
+        # Garbage in, garbage out — never a crash.
+        graph = build(self.SOURCE)
+        result = Executor(graph).run(
+            inputs={"x": np.full(4, np.nan)},
+            params={"p": np.zeros(2)},
+        )
+        assert np.all(np.isnan(result.outputs["y"]))
+
+    def test_graph_mutation_detected_by_validate(self, mpc_source):
+        from repro.errors import GraphError
+        from repro.srdfg.graph import COMPUTE
+
+        graph = build(mpc_source, domain="RBT")
+        # Sabotage: create a genuine combinational cycle between two
+        # compute nodes inside a component body.
+        predict = next(
+            node for node in graph.component_nodes()
+            if node.name == "predict_trajectory"
+        )
+        inner = predict.subgraph
+        first, second = inner.compute_nodes()[:2]
+        from repro.srdfg.metadata import EdgeMeta
+
+        inner.add_edge(second, first, EdgeMeta(name="bad"))
+        inner.add_edge(first, second, EdgeMeta(name="bad2"))
+        with pytest.raises(GraphError, match="cycle"):
+            graph.validate()

@@ -1,0 +1,369 @@
+"""Unit tests for the vectorised srDFG interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.srdfg import Executor, build
+
+
+def run(source, inputs=None, params=None, state=None, **kwargs):
+    graph = build(source)
+    return Executor(graph, **kwargs).run(inputs=inputs, params=params, state=state)
+
+
+class TestBasicStatements:
+    def test_elementwise_add(self):
+        result = run(
+            "main(input float a[4], input float b[4], output float y[4]) {"
+            " index i[0:3]; y[i] = a[i] + b[i]; }",
+            inputs={"a": np.arange(4.0), "b": np.ones(4)},
+        )
+        assert np.allclose(result.outputs["y"], [1, 2, 3, 4])
+
+    def test_scalar_assignment(self):
+        result = run(
+            "main(input float x[3], output float r) {"
+            " index i[0:2]; r = sum[i](x[i]); }",
+            inputs={"x": np.array([1.0, 2.0, 3.0])},
+        )
+        assert float(result.outputs["r"]) == 6.0
+
+    def test_literal_broadcast(self):
+        result = run(
+            "main(output float y[5]) { index i[0:4]; y[i] = 2.5; }"
+        )
+        assert np.allclose(result.outputs["y"], 2.5)
+
+    def test_builtin_functions(self):
+        result = run(
+            "main(input float x[4], output float y[4]) {"
+            " index i[0:3]; y[i] = sigmoid(x[i]); }",
+            inputs={"x": np.array([-2.0, 0.0, 1.0, 5.0])},
+        )
+        expected = 1.0 / (1.0 + np.exp(-np.array([-2.0, 0.0, 1.0, 5.0])))
+        assert np.allclose(result.outputs["y"], expected)
+
+    def test_ternary(self):
+        result = run(
+            "main(input float x[4], output float y[4]) {"
+            " index i[0:3]; y[i] = x[i] > 0.0 ? x[i] : 0.0 - x[i]; }",
+            inputs={"x": np.array([-1.0, 2.0, -3.0, 4.0])},
+        )
+        assert np.allclose(result.outputs["y"], [1, 2, 3, 4])
+
+    def test_int_dtype_preserved(self):
+        result = run(
+            "main(input int x[4], output int y[4]) {"
+            " index i[0:3]; y[i] = x[i] + 1; }",
+            inputs={"x": np.arange(4)},
+        )
+        assert result.outputs["y"].dtype == np.int64
+
+
+class TestIndexing:
+    def test_strided_read(self):
+        result = run(
+            "main(input float x[8], output float y[4]) {"
+            " index i[0:3]; y[i] = x[2*i]; }",
+            inputs={"x": np.arange(8.0)},
+        )
+        assert np.allclose(result.outputs["y"], [0, 2, 4, 6])
+
+    def test_strided_write_merges_previous(self):
+        result = run(
+            "main(input float x[4], output float y[8]) {"
+            " index i[0:7], j[0:3];"
+            " y[i] = 1.0;"
+            " y[2*j] = x[j]; }",
+            inputs={"x": np.array([10.0, 20.0, 30.0, 40.0])},
+        )
+        assert np.allclose(result.outputs["y"], [10, 1, 20, 1, 30, 1, 40, 1])
+
+    def test_gather_via_index_array(self):
+        result = run(
+            "main(input float x[4], param int p[4], output float y[4]) {"
+            " index i[0:3]; y[i] = x[p[i]]; }",
+            inputs={"x": np.array([5.0, 6.0, 7.0, 8.0])},
+            params={"p": np.array([3, 2, 1, 0])},
+        )
+        assert np.allclose(result.outputs["y"], [8, 7, 6, 5])
+
+    def test_out_of_range_read_raises(self):
+        with pytest.raises(ExecutionError, match="out of range"):
+            run(
+                "main(input float x[4], output float y[4]) {"
+                " index i[0:3]; y[i] = x[i+1]; }",
+                inputs={"x": np.zeros(4)},
+            )
+
+    def test_out_of_range_write_raises(self):
+        with pytest.raises(ExecutionError, match="out of range"):
+            run(
+                "main(input float x[4], output float y[4]) {"
+                " index i[0:3]; y[i+1] = x[i]; }",
+                inputs={"x": np.zeros(4)},
+            )
+
+    def test_transposed_access(self):
+        a = np.arange(6.0).reshape(2, 3)
+        result = run(
+            "main(input float a[2][3], output float y[3][2]) {"
+            " index i[0:1], j[0:2]; y[j][i] = a[i][j]; }",
+            inputs={"a": a},
+        )
+        assert np.allclose(result.outputs["y"], a.T)
+
+
+class TestReductions:
+    def test_matvec_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        a, x = rng.normal(size=(5, 7)), rng.normal(size=7)
+        result = run(
+            "main(input float A[5][7], input float x[7], output float y[5]) {"
+            " index i[0:6], j[0:4]; y[j] = sum[i](A[j][i]*x[i]); }",
+            inputs={"A": a, "x": x},
+        )
+        assert np.allclose(result.outputs["y"], a @ x)
+
+    def test_matmul_matches_numpy(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=(4, 6)), rng.normal(size=(6, 5))
+        result = run(
+            "main(input float A[4][6], input float B[6][5], output float C[4][5]) {"
+            " index i[0:3], j[0:4], k[0:5]; C[i][j] = sum[k](A[i][k]*B[k][j]); }",
+            inputs={"A": a, "B": b},
+        )
+        assert np.allclose(result.outputs["C"], a @ b)
+
+    def test_predicate_masks_elements(self):
+        result = run(
+            "main(input float A[3][3], output float r) {"
+            " index i[0:2], j[0:2]; r = sum[i][j: j != i](A[i][j]); }",
+            inputs={"A": np.ones((3, 3))},
+        )
+        assert float(result.outputs["r"]) == 6.0
+
+    def test_min_with_predicate_identity(self):
+        # All-masked lanes fall back to +inf for min.
+        result = run(
+            "main(input float x[4], output float y[4]) {"
+            " index i[0:3], v[0:3];"
+            " y[v] = min[i: i > 5](x[i]); }",
+            inputs={"x": np.arange(4.0)},
+        )
+        assert np.all(np.isinf(result.outputs["y"]))
+
+    def test_prod(self):
+        result = run(
+            "main(input float x[4], output float r) {"
+            " index i[0:3]; r = prod[i](x[i]); }",
+            inputs={"x": np.array([1.0, 2.0, 3.0, 4.0])},
+        )
+        assert float(result.outputs["r"]) == 24.0
+
+    def test_argmax_returns_position(self):
+        result = run(
+            "main(input float x[5], output float r) {"
+            " index i[0:4]; r = argmax[i](x[i]); }",
+            inputs={"x": np.array([1.0, 9.0, 3.0, 9.5, 0.0])},
+        )
+        assert int(result.outputs["r"]) == 3
+
+    def test_argmin_per_row(self):
+        a = np.array([[3.0, 1.0, 2.0], [0.5, 4.0, 0.1]])
+        result = run(
+            "main(input float A[2][3], output float y[2]) {"
+            " index r[0:1], c[0:2]; y[r] = argmin[c](A[r][c]); }",
+            inputs={"A": a},
+        )
+        assert np.allclose(result.outputs["y"], [1, 2])
+
+    def test_custom_reduction(self):
+        result = run(
+            "reduction rmax(a,b) = a > b ? a : b;\n"
+            "main(input float x[5], output float r) {"
+            " index i[0:4]; r = rmax[i](x[i]); }",
+            inputs={"x": np.array([3.0, -1.0, 7.0, 2.0, 5.0])},
+        )
+        assert float(result.outputs["r"]) == 7.0
+
+    def test_custom_reduction_with_predicate(self):
+        result = run(
+            "reduction rmin(a,b) = a < b ? a : b;\n"
+            "main(input float x[6], output float r) {"
+            " index i[0:5]; r = rmin[i: i % 2 == 0](x[i]); }",
+            inputs={"x": np.array([9.0, 0.0, 4.0, 0.0, 6.0, 0.0])},
+        )
+        assert float(result.outputs["r"]) == 4.0
+
+    def test_reduction_of_unreferenced_index_scales(self):
+        # sum over i of a constant multiplies by the range size.
+        result = run(
+            "main(input float c, output float r) {"
+            " index i[0:9]; r = sum[i](c); }",
+            inputs={"c": 2.0},
+        )
+        assert float(result.outputs["r"]) == 20.0
+
+    def test_fused_reduction_expression(self):
+        rng = np.random.default_rng(3)
+        a, x, b = rng.normal(size=(4, 4)), rng.normal(size=4), rng.normal(size=4)
+        result = run(
+            "main(input float A[4][4], input float x[4], input float b[4],"
+            " output float y[4]) {"
+            " index i[0:3], j[0:3]; y[j] = sum[i](A[j][i]*x[i]) + b[j]; }",
+            inputs={"A": a, "x": x, "b": b},
+        )
+        assert np.allclose(result.outputs["y"], a @ x + b)
+
+    def test_chunked_reduction_equals_unchunked(self):
+        rng = np.random.default_rng(4)
+        a, x = rng.normal(size=(16, 64)), rng.normal(size=64)
+        source = (
+            "main(input float A[16][64], input float x[64], output float y[16]) {"
+            " index i[0:63], j[0:15];"
+            " y[j] = sum[i](A[j][i]*x[i+0-0]*1.0); }"
+        )
+        # The odd subscript defeats the einsum fast path so the general
+        # (and, with a tiny limit, chunked) evaluator runs.
+        big = run(source, inputs={"A": a, "x": x})
+        small = run(source, inputs={"A": a, "x": x}, lattice_limit=64)
+        assert np.allclose(big.outputs["y"], small.outputs["y"])
+        assert np.allclose(big.outputs["y"], a @ x)
+
+
+class TestStateAndAliasing:
+    def test_state_threads_across_invocations(self):
+        graph = build(
+            "main(input float x, state float acc, output float y) {"
+            " acc = acc + x; y = acc; }"
+        )
+        executor = Executor(graph)
+        state = {}
+        values = []
+        for step in range(3):
+            result = executor.run(inputs={"x": 1.0}, state=state)
+            state = result.state
+            values.append(float(result.outputs["y"]))
+        assert values == [1.0, 2.0, 3.0]
+
+    def test_output_aliasing_preserves_unwritten_elements(self, mpc_source,
+                                                          mpc_data,
+                                                          mpc_reference_result):
+        graph = build(mpc_source, domain="RBT")
+        result = Executor(graph).run(**mpc_data)
+        assert np.allclose(result.outputs["ctrl_sgnl"],
+                           mpc_reference_result["ctrl_sgnl"])
+        assert np.allclose(result.state["ctrl_mdl"],
+                           mpc_reference_result["ctrl_mdl"])
+
+    def test_missing_input_raises(self):
+        with pytest.raises(ExecutionError, match="missing input"):
+            run("main(input float x, output float y) { y = x; }")
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ExecutionError, match="shape"):
+            run(
+                "main(input float x[4], output float y[4]) {"
+                " index i[0:3]; y[i] = x[i]; }",
+                inputs={"x": np.zeros(5)},
+            )
+
+    def test_unwritten_output_defaults_to_zero(self):
+        result = run(
+            "main(input float x, output float y[3]) { }",
+            inputs={"x": 1.0},
+        )
+        assert np.allclose(result.outputs["y"], 0.0)
+
+
+class TestUnrollSemantics:
+    def test_unroll_accumulates(self):
+        result = run(
+            "main(input float x[4], output float y[4]) {"
+            " index i[0:3];"
+            " y[i] = x[i];"
+            " unroll s[1:3] { y[i] = y[i] * 2.0; } }",
+            inputs={"x": np.ones(4)},
+        )
+        assert np.allclose(result.outputs["y"], 8.0)
+
+    def test_unroll_binder_value_visible(self):
+        result = run(
+            "main(output float y[3]) {"
+            " unroll s[0:2] { y[s] = s * 10.0; } }"
+        )
+        assert np.allclose(result.outputs["y"], [0, 10, 20])
+
+
+class TestGuardedAccess:
+    def test_predicate_guards_out_of_range_reads(self):
+        # The guarded-stencil idiom: sum[j: i+j < n](x[i+j]).
+        result = run(
+            "main(input float x[8], param float w[3], output float y[8]) {"
+            " index i[0:7], j[0:2];"
+            " y[i] = sum[j: i + j < 8](w[j] * x[i + j]); }",
+            inputs={"x": np.arange(8.0)},
+            params={"w": np.array([1.0, 1.0, 1.0])},
+        )
+        expected = np.array(
+            [sum(i + j for j in range(3) if i + j < 8) for i in range(8)],
+            dtype=float,
+        )
+        assert np.allclose(result.outputs["y"], expected)
+
+    def test_unguarded_out_of_range_still_raises(self):
+        # The predicate does not cover the violation -> hard error.
+        with pytest.raises(ExecutionError, match="out of range"):
+            run(
+                "main(input float x[8], output float y[8]) {"
+                " index i[0:7], j[0:2];"
+                " y[i] = sum[j: j >= 0](x[i + j]); }",
+                inputs={"x": np.arange(8.0)},
+            )
+
+
+class TestRenderBars:
+    def test_bar_chart_renders(self):
+        from repro.eval.figures import FigureData
+
+        data = FigureData(
+            figure="Fig T",
+            caption="test",
+            columns=("name", "value"),
+            rows=[("a", 1.0), ("bb", 4.0)],
+        )
+        chart = data.render_bars()
+        assert "Fig T" in chart
+        assert chart.count("#") > 10
+        assert "4.00" in chart
+
+
+class TestComplexDtype:
+    def test_complex_elementwise(self):
+        z = np.array([1 + 2j, 3 - 1j, -2 + 0.5j])
+        w = np.array([2 + 0j, 1 + 1j, 0 - 1j])
+        result = run(
+            "main(input complex a[3], input complex b[3],"
+            " output complex y[3]) {"
+            " index i[0:2]; y[i] = a[i] * b[i] + a[i]; }",
+            inputs={"a": z, "b": w},
+        )
+        assert result.outputs["y"].dtype == np.complex128
+        assert np.allclose(result.outputs["y"], z * w + z)
+
+    def test_complex_dft_via_reduction(self):
+        # Direct DFT with a complex twiddle matrix equals np.fft.fft.
+        n = 16
+        k = np.arange(n)
+        twiddle = np.exp(-2j * np.pi * np.outer(k, k) / n)
+        signal = np.random.default_rng(0).normal(size=n) + 0j
+        result = run(
+            f"main(input complex W[{n}][{n}], input complex x[{n}],"
+            f" output complex X[{n}]) {{"
+            f" index i[0:{n-1}], j[0:{n-1}];"
+            " X[j] = sum[i](W[j][i]*x[i]); }",
+            inputs={"W": twiddle, "x": signal},
+        )
+        assert np.allclose(result.outputs["X"], np.fft.fft(signal.real))

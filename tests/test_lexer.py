@@ -1,0 +1,117 @@
+"""Unit tests for the PMLang lexer."""
+
+import pytest
+
+from repro.errors import PMLangSyntaxError
+from repro.pmlang.lexer import tokenize
+from repro.pmlang.tokens import EOF, FLOAT, INT, KEYWORD, NAME, OP, STRING
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == EOF
+
+    def test_identifier(self):
+        token = tokenize("ctrl_mdl")[0]
+        assert token.kind == NAME
+        assert token.text == "ctrl_mdl"
+
+    def test_keywords_are_not_names(self):
+        for word in ("input", "output", "state", "param", "index", "float",
+                     "reduction", "unroll", "RBT", "GA", "DSP", "DA", "DL"):
+            assert tokenize(word)[0].kind == KEYWORD, word
+
+    def test_identifier_with_keyword_prefix_is_name(self):
+        assert tokenize("inputs")[0].kind == NAME
+        assert tokenize("indexer")[0].kind == NAME
+
+    def test_underscore_leading_identifier(self):
+        assert tokenize("_tmp1")[0].text == "_tmp1"
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.kind == INT
+        assert token.text == "42"
+
+    def test_float_with_point(self):
+        assert tokenize("3.25")[0].kind == FLOAT
+
+    def test_float_with_exponent(self):
+        assert tokenize("1e-3")[0].kind == FLOAT
+        assert tokenize("2.5E+4")[0].kind == FLOAT
+
+    def test_leading_dot_float(self):
+        token = tokenize(".5")[0]
+        assert token.kind == FLOAT
+        assert token.text == ".5"
+
+    def test_integer_followed_by_range_colon(self):
+        assert texts("i[0:9]") == ["i", "[", "0", ":", "9", "]"]
+
+
+class TestOperators:
+    def test_multi_char_operators_are_single_tokens(self):
+        for op in ("==", "!=", "<=", ">=", "&&", "||"):
+            tokens = tokenize(f"a {op} b")
+            assert tokens[1].kind == OP and tokens[1].text == op
+
+    def test_adjacent_single_char_ops(self):
+        assert texts("a[i+1]") == ["a", "[", "i", "+", "1", "]"]
+
+    def test_ternary_punctuation(self):
+        assert texts("a ? b : c") == ["a", "?", "b", ":", "c"]
+
+    def test_caret_power(self):
+        assert texts("2^s") == ["2", "^", "s"]
+
+
+class TestCommentsAndStrings:
+    def test_line_comment_is_skipped(self):
+        assert texts("a // trailing comment\nb") == ["a", "b"]
+
+    def test_comment_only_line(self):
+        assert kinds("// nothing here") == [EOF]
+
+    def test_string_literal(self):
+        token = tokenize('"hello world"')[0]
+        assert token.kind == STRING
+        assert token.text == "hello world"
+
+    def test_string_with_escaped_quote(self):
+        assert tokenize(r'"say \"hi\""')[0].text == 'say "hi"'
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(PMLangSyntaxError):
+            tokenize('"oops')
+
+    def test_unterminated_string_at_newline_raises(self):
+        with pytest.raises(PMLangSyntaxError):
+            tokenize('"oops\nmore"')
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(PMLangSyntaxError) as excinfo:
+            tokenize("a\n@b")
+        assert excinfo.value.line == 2
+
+    def test_unexpected_character(self):
+        with pytest.raises(PMLangSyntaxError):
+            tokenize("a $ b")

@@ -1,0 +1,154 @@
+"""Unit tests for Algorithm 1 (lowering) and component inlining."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LoweringError
+from repro.passes.lowering import lower, supported_summary
+from repro.srdfg import Executor, build
+
+ALL_SCALAR = {"alu", "mul", "div", "nonlinear"}
+
+
+class TestSupportDecisions:
+    def test_supported_group_op_kept(self, matvec_source):
+        graph = build(matvec_source, domain="DA")
+        lower(graph, {"DA": {"matvec"}}, {"DA": ALL_SCALAR})
+        [node] = graph.compute_nodes()
+        assert node.attrs["lowered"] == "group"
+
+    def test_unsupported_group_op_marked_scalar(self, matvec_source):
+        graph = build(matvec_source, domain="DA")
+        lower(graph, {"DA": set()}, {"DA": ALL_SCALAR})
+        [node] = graph.compute_nodes()
+        assert node.attrs["lowered"] == "scalar"
+
+    def test_unsupported_scalar_class_fails(self):
+        source = (
+            "main(input float x[4], output float y[4]) {"
+            " index i[0:3]; y[i] = sigmoid(x[i]); }"
+        )
+        graph = build(source, domain="DA")
+        with pytest.raises(LoweringError, match="nonlinear"):
+            lower(graph, {"DA": set()}, {"DA": {"alu", "mul"}})
+
+    def test_macro_component_kept_whole(self, mpc_source):
+        graph = build(mpc_source, domain="RBT")
+        om = {"RBT": {"predict_trajectory", "compute_ctrl_grad",
+                      "update_ctrl_model", "copy"}}
+        lower(graph, om, {"RBT": ALL_SCALAR})
+        names = {node.name for node in graph.component_nodes()}
+        assert {"predict_trajectory", "compute_ctrl_grad", "update_ctrl_model"} <= names
+
+    def test_supported_summary(self, mpc_source):
+        graph = build(mpc_source, domain="RBT")
+        lower(
+            graph,
+            {"RBT": {"matvec", "copy", "elemwise_sub", "elemwise_add", "contract"}},
+            {"RBT": ALL_SCALAR},
+        )
+        summary = supported_summary(graph)
+        assert summary.get("group", 0) > 0
+
+
+class TestInliningCorrectness:
+    def test_everything_inlined(self, mpc_source):
+        graph = build(mpc_source, domain="RBT")
+        lower(graph, {"RBT": set()}, {"RBT": ALL_SCALAR})
+        assert graph.component_nodes() == []
+        assert graph.depth() == 0
+        graph.validate()
+
+    def test_inlined_execution_identical(
+        self, mpc_source, mpc_data, mpc_reference_result
+    ):
+        graph = build(mpc_source, domain="RBT")
+        lower(graph, {"RBT": set()}, {"RBT": ALL_SCALAR})
+        result = Executor(graph).run(**mpc_data)
+        assert np.allclose(
+            result.outputs["ctrl_sgnl"], mpc_reference_result["ctrl_sgnl"]
+        )
+        assert np.allclose(
+            result.state["ctrl_mdl"], mpc_reference_result["ctrl_mdl"]
+        )
+
+    def test_nested_inlining(self):
+        source = (
+            "inner(input float a[4], output float b[4]) {"
+            " index i[0:3]; b[i] = a[i] * 2.0; }\n"
+            "outer(input float a[4], output float b[4]) {"
+            " float t[4]; index i[0:3];"
+            " inner(a, t);"
+            " b[i] = t[i] + 1.0; }\n"
+            "main(input float x[4], output float y[4]) { outer(x, y); }"
+        )
+        graph = build(source)
+        lower(graph, {"DA": set()}, {"DA": ALL_SCALAR})
+        assert graph.component_nodes() == []
+        result = Executor(graph).run(inputs={"x": np.arange(4.0)})
+        assert np.allclose(result.outputs["y"], np.arange(4.0) * 2 + 1)
+
+    def test_state_survives_inlining(self):
+        source = (
+            "accumulate(input float x, state float acc, output float y) {"
+            " acc = acc + x; y = acc; }\n"
+            "main(input float x, state float acc, output float y) {"
+            " accumulate(x, acc, y); }"
+        )
+        graph = build(source)
+        lower(graph, {"DA": set()}, {"DA": ALL_SCALAR})
+        executor = Executor(graph)
+        state = {}
+        for expected in (1.0, 2.0, 3.0):
+            result = executor.run(inputs={"x": 1.0}, state=state)
+            state = result.state
+            assert float(result.outputs["y"]) == expected
+
+    def test_output_passthrough_when_never_written(self):
+        source = (
+            "noop(input float a[2], output float b[2]) { }\n"
+            "main(input float x[2], output float y[2]) { noop(x, y); }"
+        )
+        graph = build(source)
+        lower(graph, {"DA": set()}, {"DA": ALL_SCALAR})
+        result = Executor(graph).run(inputs={"x": np.ones(2)})
+        assert np.allclose(result.outputs["y"], 0.0)
+
+    def test_domains_preserved_across_inlining(self):
+        source = (
+            "f(input float a[2], output float b[2]) {"
+            " index i[0:1]; b[i] = a[i] * 2.0; }\n"
+            "g(input float a[2], output float b[2]) {"
+            " index i[0:1]; b[i] = a[i] + 1.0; }\n"
+            "main(input float x[2], output float y[2]) {"
+            " float t[2];"
+            " DSP: f(x, t);"
+            " DA: g(t, y); }"
+        )
+        graph = build(source, domain="DA")
+        lower(graph, {"DA": set(), "DSP": set()},
+              {"DA": ALL_SCALAR, "DSP": ALL_SCALAR})
+        domains = {node.domain for node in graph.compute_nodes()}
+        assert domains == {"DSP", "DA"}
+        result = Executor(graph).run(inputs={"x": np.array([1.0, 2.0])})
+        assert np.allclose(result.outputs["y"], [3.0, 5.0])
+
+    def test_per_domain_support_sets(self):
+        # The same op name can be supported in one domain, not another.
+        source = (
+            "f(input float a[2], output float b[2]) {"
+            " index i[0:1]; b[i] = a[i] * 2.0; }\n"
+            "main(input float x[2], output float y[2]) {"
+            " float t[2];"
+            " DSP: f(x, t);"
+            " DA: f(t, y); }"
+        )
+        graph = build(source, domain="DA")
+        lower(
+            graph,
+            {"DA": {"f"}, "DSP": set()},
+            {"DA": ALL_SCALAR, "DSP": ALL_SCALAR},
+        )
+        remaining = graph.component_nodes()
+        assert len(remaining) == 1
+        assert remaining[0].domain == "DA"

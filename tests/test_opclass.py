@@ -1,0 +1,170 @@
+"""Unit tests for operation classification and op counting."""
+
+import pytest
+
+from repro.pmlang.parser import parse
+from repro.srdfg.opclass import classify
+
+
+def classify_stmt(body, ranges, args="input float A[8][8], input float x[8], output float y[8]"):
+    program = parse(f"main({args}) {{ {body} }}")
+    stmt = program.components["main"].body[-1]
+    reductions = program.reductions
+    return classify(stmt, ranges, reductions)
+
+
+R8 = {"i": (0, 7), "j": (0, 7), "k": (0, 7)}
+
+
+class TestNaming:
+    def test_matvec(self):
+        desc = classify_stmt("y[j] = sum[i](A[j][i]*x[i]);", R8)
+        assert desc.opname == "matvec"
+        assert desc.free_indices == ("j",)
+        assert desc.reduce_indices == ("i",)
+
+    def test_matvec_transposed_factors(self):
+        desc = classify_stmt("y[j] = sum[i](x[i]*A[i][j]);", R8)
+        assert desc.opname == "matvec"
+
+    def test_dot(self):
+        desc = classify_stmt(
+            "r = sum[i](x[i]*z[i]);",
+            {"i": (0, 7)},
+            args="input float x[8], input float z[8], output float r",
+        )
+        assert desc.opname == "dot"
+        assert desc.free_size == 1
+
+    def test_matmul(self):
+        desc = classify_stmt(
+            "C[i][j] = sum[k](A[i][k]*B[k][j]);",
+            R8,
+            args="input float A[8][8], input float B[8][8], output float C[8][8]",
+        )
+        assert desc.opname == "matmul"
+
+    def test_conv2d(self):
+        ranges = {
+            "oc": (0, 3), "oy": (0, 7), "ox": (0, 7),
+            "ic": (0, 2), "ky": (0, 2), "kx": (0, 2),
+        }
+        desc = classify_stmt(
+            "y[oc][oy][ox] = sum[ic][ky][kx](W[oc][ic][ky][kx]*x[ic][oy+ky][ox+kx]);",
+            ranges,
+            args="param float W[4][3][3][3], input float x[3][10][10], "
+            "output float y[4][8][8]",
+        )
+        assert desc.opname == "conv2d"
+
+    def test_stencil_single_affine_axis(self):
+        desc = classify_stmt(
+            "y[j] = sum[i](A[j][i]*x[i+1]);",
+            {"i": (0, 6), "j": (0, 7)},
+            args="input float A[8][7], input float x[8], output float y[8]",
+        )
+        assert desc.opname == "stencil"
+
+    def test_elemwise_named_by_operator(self):
+        assert classify_stmt("y[i] = x[i] + z[i];", R8,
+                             args="input float x[8], input float z[8], output float y[8]"
+                             ).opname == "elemwise_add"
+        assert classify_stmt("y[i] = x[i] * z[i];", R8,
+                             args="input float x[8], input float z[8], output float y[8]"
+                             ).opname == "elemwise_mul"
+
+    def test_map_function(self):
+        desc = classify_stmt("y[i] = relu(x[i]);", R8,
+                             args="input float x[8], output float y[8]")
+        assert desc.opname == "map_relu"
+
+    def test_copy(self):
+        desc = classify_stmt("y[i] = x[i];", R8,
+                             args="input float x[8], output float y[8]")
+        assert desc.opname == "copy"
+
+    def test_reduce_max(self):
+        desc = classify_stmt("r = max[i](x[i]);", {"i": (0, 7)},
+                             args="input float x[8], output float r")
+        assert desc.opname == "reduce_max"
+
+    def test_custom_reduction_name(self):
+        program = parse(
+            "reduction rmin(a,b) = a < b ? a : b;\n"
+            "main(input float x[8], output float r) {"
+            " index i[0:7]; r = rmin[i](x[i]); }"
+        )
+        stmt = program.components["main"].body[-1]
+        desc = classify(stmt, {"i": (0, 7)}, program.reductions)
+        assert desc.opname == "reduce_rmin"
+
+    def test_fused_reduction_in_expression(self):
+        desc = classify_stmt("y[j] = y[j] + sum[i](A[j][i]*x[i]);", R8)
+        assert desc.opname == "matvec"
+        assert desc.fused
+
+    def test_predicate_flag(self):
+        desc = classify_stmt("r = sum[i: i != 3](x[i]);", {"i": (0, 7)},
+                             args="input float x[8], output float r")
+        assert desc.has_predicate
+
+
+class TestCounting:
+    def test_matvec_counts(self):
+        desc = classify_stmt("y[j] = sum[i](A[j][i]*x[i]);", R8)
+        # 64 multiplies; 8 outputs x 7 combines = 56 adds.
+        assert desc.op_counts["mul"] == 64
+        assert desc.op_counts["alu"] == 56
+        assert desc.free_size == 8
+        assert desc.reduce_size == 8
+
+    def test_elemwise_counts(self):
+        desc = classify_stmt("y[i] = x[i] + 2.0*x[i];", R8,
+                             args="input float x[8], output float y[8]")
+        assert desc.op_counts["alu"] == 8
+        assert desc.op_counts["mul"] == 8
+
+    def test_nonlinear_counts(self):
+        desc = classify_stmt("y[i] = sigmoid(x[i]);", R8,
+                             args="input float x[8], output float y[8]")
+        assert desc.op_counts["nonlinear"] == 8
+
+    def test_ternary_counts_as_select(self):
+        desc = classify_stmt("y[i] = x[i] > 0.0 ? x[i] : 0.0;", R8,
+                             args="input float x[8], output float y[8]")
+        # one compare + one select per element
+        assert desc.op_counts["alu"] == 16
+
+    def test_predicate_counts_charged(self):
+        plain = classify_stmt("r = sum[i](x[i]);", {"i": (0, 7)},
+                              args="input float x[8], output float r")
+        masked = classify_stmt("r = sum[i: i != 3](x[i]);", {"i": (0, 7)},
+                               args="input float x[8], output float r")
+        assert masked.total_ops > plain.total_ops
+
+    def test_custom_reduction_body_costed(self):
+        program = parse(
+            "reduction rmin(a,b) = a < b ? a : b;\n"
+            "main(input float x[8], output float r) {"
+            " index i[0:7]; r = rmin[i](x[i]); }"
+        )
+        stmt = program.components["main"].body[-1]
+        desc = classify(stmt, {"i": (0, 7)}, program.reductions)
+        # 7 combines x (compare + select) = 14 alu ops.
+        assert desc.op_counts["alu"] == 14
+
+    def test_strided_address_arithmetic_counted(self):
+        desc = classify_stmt(
+            "y[i] = x[2*i];", {"i": (0, 3)},
+            args="input float x[8], output float y[4]",
+        )
+        assert desc.op_counts["mul"] == 4  # 2*i per element
+
+    def test_total_and_macs(self):
+        desc = classify_stmt("y[j] = sum[i](A[j][i]*x[i]);", R8)
+        assert desc.total_ops == 120
+        assert desc.macs == 56
+
+    def test_lattice_points(self):
+        desc = classify_stmt("y[j] = sum[i](A[j][i]*x[i]);", R8)
+        assert desc.lattice_points == 64

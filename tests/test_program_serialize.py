@@ -1,0 +1,62 @@
+"""Tests for accelerator-program serialisation."""
+
+import json
+
+import pytest
+
+from repro.errors import TargetError
+from repro.targets import PolyMath, default_accelerators
+from repro.targets.serialize import (
+    application_to_json,
+    program_from_dict,
+    program_to_dict,
+    programs_from_json,
+)
+
+
+@pytest.fixture(scope="module")
+def compiled(mpc_source):
+    compiler = PolyMath(default_accelerators())
+    return compiler.compile(mpc_source, domain="RBT")
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_fragments(self, compiled):
+        text = application_to_json(compiled, indent=2)
+        restored = programs_from_json(text)
+        assert set(restored) == set(compiled.programs)
+        for domain, program in compiled.programs.items():
+            assert restored[domain].ops() == program.ops()
+            assert restored[domain].target == program.target
+
+    def test_costs_identical_after_round_trip(self, compiled):
+        restored = programs_from_json(application_to_json(compiled))
+        for domain, program in compiled.programs.items():
+            accelerator = compiled.accelerators[domain]
+            original = accelerator.estimate(program)
+            reloaded = accelerator.estimate(restored[domain])
+            assert reloaded.seconds == pytest.approx(original.seconds)
+            assert reloaded.energy_j == pytest.approx(original.energy_j)
+
+    def test_program_dict_round_trip(self, compiled):
+        program = compiled.programs["RBT"]
+        restored = program_from_dict(program_to_dict(program))
+        assert restored.ops() == program.ops()
+        assert len(restored) == len(program)
+
+    def test_document_is_valid_json(self, compiled):
+        payload = json.loads(application_to_json(compiled))
+        assert payload["format"] == "polymath-accelerator-ir"
+        assert "RBT" in payload["programs"]
+
+
+class TestErrors:
+    def test_rejects_foreign_document(self):
+        with pytest.raises(TargetError, match="not a polymath"):
+            programs_from_json('{"format": "elf", "programs": {}}')
+
+    def test_rejects_future_version(self):
+        with pytest.raises(TargetError, match="version"):
+            programs_from_json(
+                '{"format": "polymath-accelerator-ir", "version": 99}'
+            )

@@ -1,0 +1,173 @@
+"""Unit tests for PMLang semantic analysis."""
+
+import pytest
+
+from repro.errors import PMLangSemanticError
+from repro.pmlang.parser import parse
+from repro.pmlang.semantic import analyze
+
+
+def check(source, entry="main"):
+    return analyze(parse(source), entry=entry)
+
+
+class TestEntryAndStructure:
+    def test_requires_main(self):
+        with pytest.raises(PMLangSemanticError, match="no 'main'"):
+            check("f(input float x) { }")
+
+    def test_entry_can_be_disabled(self):
+        info = analyze(parse("f(input float x[2]) { }"), entry=None)
+        assert "f" in info.components
+
+    def test_symbols_include_args_and_dims(self, mpc_source):
+        info = check(mpc_source)
+        mvmul = info.components["mvmul"]
+        assert mvmul.symbols["A"].kind == "arg"
+        assert mvmul.symbols["m"].kind == "dim"
+        assert mvmul.symbols["i"].kind == "index"
+
+    def test_call_list_recorded(self, mpc_source):
+        info = check(mpc_source)
+        assert info.components["main"].calls == (
+            "predict_trajectory",
+            "compute_ctrl_grad",
+            "update_ctrl_model",
+        )
+
+
+class TestNameRules:
+    def test_undeclared_name_rejected(self):
+        with pytest.raises(PMLangSemanticError, match="undeclared"):
+            check("main(input float x[2]) { index i[0:1]; y[i] = x[i]; }")
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(PMLangSemanticError, match="duplicate"):
+            check("main(input float x[2]) { float x[2]; }")
+
+    def test_duplicate_index_rejected(self):
+        with pytest.raises(PMLangSemanticError, match="duplicate"):
+            check("main(input float x[2]) { index i[0:1], i[0:1]; }")
+
+    def test_write_to_input_rejected(self):
+        with pytest.raises(PMLangSemanticError, match="cannot write"):
+            check("main(input float x[2]) { index i[0:1]; x[i] = 1.0; }")
+
+    def test_write_to_param_rejected(self):
+        with pytest.raises(PMLangSemanticError, match="cannot write"):
+            check("main(param float p[2], output float y[2]) "
+                  "{ index i[0:1]; p[i] = 1.0; }")
+
+    def test_assign_to_index_rejected(self):
+        with pytest.raises(PMLangSemanticError, match="cannot assign"):
+            check("main(output float y[2]) { index i[0:1]; i = 1; }")
+
+    def test_state_is_read_write(self):
+        check("main(state float s[2], output float y[2]) "
+              "{ index i[0:1]; s[i] = s[i] + 1.0; y[i] = s[i]; }")
+
+    def test_output_readable_within_component(self):
+        # Matches the paper's Fig 4 (update_ctrl_model reads ctrl_mdl).
+        check("main(input float x[2], output float y[2]) "
+              "{ index i[0:1]; y[i] = x[i]; y[i] = y[i] + 1.0; }")
+
+
+class TestCalls:
+    GOOD_CALLEE = "f(input float a[2], output float b[2]) { index i[0:1]; b[i] = a[i]; }\n"
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(PMLangSemanticError, match="unknown component"):
+            check("main(input float x[2]) { g(x); }")
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(PMLangSemanticError, match="expects 2"):
+            check(self.GOOD_CALLEE + "main(input float x[2]) { f(x); }")
+
+    def test_output_actual_must_be_name(self):
+        with pytest.raises(PMLangSemanticError, match="must be a variable"):
+            check(
+                self.GOOD_CALLEE
+                + "main(input float x[2], output float y[2]) { f(x, x + y); }"
+            )
+
+    def test_input_bound_to_output_param_rejected(self):
+        with pytest.raises(PMLangSemanticError, match="cannot bind input"):
+            check(
+                self.GOOD_CALLEE
+                + "main(input float x[2], output float y[2]) { f(y, x); }"
+            )
+
+    def test_direct_recursion_rejected(self):
+        with pytest.raises(PMLangSemanticError, match="recursive"):
+            check(
+                "main(input float x[2], output float y[2]) { main(x, y); }"
+            )
+
+    def test_mutual_recursion_rejected(self):
+        source = (
+            "a(input float x[2], output float y[2]) { b(x, y); }\n"
+            "b(input float x[2], output float y[2]) { a(x, y); }\n"
+            "main(input float x[2], output float y[2]) { a(x, y); }"
+        )
+        with pytest.raises(PMLangSemanticError, match="recursive"):
+            check(source)
+
+
+class TestFunctionsAndReductions:
+    def test_unknown_function_rejected(self):
+        with pytest.raises(PMLangSemanticError, match="unknown function"):
+            check("main(input float x[2], output float y[2]) "
+                  "{ index i[0:1]; y[i] = frobnicate(x[i]); }")
+
+    def test_function_arity_checked(self):
+        with pytest.raises(PMLangSemanticError, match="expects 1"):
+            check("main(input float x[2], output float y[2]) "
+                  "{ index i[0:1]; y[i] = sin(x[i], x[i]); }")
+
+    def test_unknown_reduction_rejected(self):
+        with pytest.raises(PMLangSemanticError, match="unknown reduction"):
+            check("main(input float x[2], output float r) "
+                  "{ index i[0:1]; r = median[i](x[i]); }")
+
+    def test_custom_reduction_visible(self):
+        check(
+            "reduction rmin(a,b) = a < b ? a : b;\n"
+            "main(input float x[4], output float r) "
+            "{ index i[0:3]; r = rmin[i](x[i]); }"
+        )
+
+    def test_reduction_body_restricted_to_params(self):
+        with pytest.raises(PMLangSemanticError, match="only reference"):
+            check(
+                "reduction bad(a,b) = a + c;\n"
+                "main(input float x[2], output float y[2]) "
+                "{ index i[0:1]; y[i] = x[i]; }"
+            )
+
+    def test_reduction_body_must_be_scalar(self):
+        with pytest.raises(PMLangSemanticError, match="scalar"):
+            check(
+                "reduction bad(a,b) = a[0] + b;\n"
+                "main(input float x[2], output float y[2]) "
+                "{ index i[0:1]; y[i] = x[i]; }"
+            )
+
+    def test_name_clash_component_reduction(self):
+        with pytest.raises(PMLangSemanticError, match="both"):
+            check(
+                "reduction f(a,b) = a + b;\n"
+                "f(input float x[2], output float y[2]) "
+                "{ index i[0:1]; y[i] = x[i]; }\n"
+                "main(input float x[2], output float y[2]) { f(x, y); }"
+            )
+
+
+class TestUnroll:
+    def test_unroll_binder_usable(self):
+        check("main(input float x[8], output float y[8]) "
+              "{ index t[0:7]; unroll s[0:2] { y[t] = x[t] + s; } }")
+
+    def test_unroll_shadowing_rejected(self):
+        with pytest.raises(PMLangSemanticError, match="shadows"):
+            check("main(input float s[2], output float y[2]) "
+                  "{ index i[0:1]; unroll s[0:2] { y[i] = 1.0; } }")

@@ -1,0 +1,113 @@
+"""Tests for srDFG serialisation, visualisation, and scalar expansion."""
+
+import json
+
+import pytest
+
+from repro.errors import GraphError
+from repro.srdfg import build, expand_scalar, scalar_op_histogram
+from repro.srdfg.serialize import graph_to_dict, graph_to_json
+from repro.srdfg.visualize import render_dot, render_text
+
+
+class TestSerialize:
+    def test_round_trips_through_json(self, mpc_source):
+        graph = build(mpc_source, domain="RBT")
+        payload = json.loads(graph_to_json(graph))
+        assert payload["name"] == "main"
+        assert payload["domain"] == "RBT"
+
+    def test_nodes_carry_recursive_srdfg(self, mpc_source):
+        graph = build(mpc_source, domain="RBT")
+        payload = graph_to_dict(graph)
+        components = [node for node in payload["nodes"] if node["kind"] == "component"]
+        assert components
+        assert all("srdfg" in node for node in components)
+
+    def test_edges_reference_local_indices(self, matvec_source):
+        graph = build(matvec_source)
+        payload = graph_to_dict(graph)
+        count = len(payload["nodes"])
+        for edge in payload["edges"]:
+            assert 0 <= edge["src"] < count
+            assert 0 <= edge["dst"] < count
+            assert set(edge["md"]) == {"name", "dtype", "modifier", "shape"}
+
+    def test_stable_output(self, matvec_source):
+        assert graph_to_json(build(matvec_source)) == graph_to_json(
+            build(matvec_source)
+        )
+
+    def test_compute_nodes_export_counts(self, matvec_source):
+        payload = graph_to_dict(build(matvec_source))
+        compute = next(n for n in payload["nodes"] if n["kind"] == "compute")
+        assert compute["op_counts"]["mul"] == 12
+
+
+class TestVisualize:
+    def test_text_rendering_shows_levels(self, mpc_source):
+        text = render_text(build(mpc_source, domain="RBT"))
+        assert "srDFG 'main'" in text
+        assert "mvmul" in text
+        assert "(component)" in text
+
+    def test_dot_rendering(self, matvec_source):
+        dot = render_dot(build(matvec_source))
+        assert dot.startswith("digraph")
+        assert "matvec" in dot
+        assert "->" in dot
+
+    def test_dot_marks_state_self_edges_dashed(self, mpc_source):
+        dot = render_dot(build(mpc_source, domain="RBT"))
+        assert "style=dashed" in dot
+
+
+class TestScalarExpansion:
+    def test_matvec_expansion_counts(self, matvec_source):
+        graph = build(matvec_source)
+        [node] = graph.compute_nodes()
+        scalar = expand_scalar(node)
+        histogram = scalar_op_histogram(scalar)
+        assert histogram["mul"] == 12
+        assert histogram["sum"] == 8  # 4 outputs x (3-1) tree combines
+        # Expansion attaches as the node's own srDFG (the recursion).
+        assert node.srdfg is scalar
+        assert graph.depth() == 1
+
+    def test_reduction_predicate_respected(self):
+        source = (
+            "main(input float x[4], output float r) {"
+            " index i[0:3]; r = sum[i: i != 0](x[i]); }"
+        )
+        graph = build(source)
+        [node] = graph.compute_nodes()
+        scalar = expand_scalar(node)
+        leaves = [n.name for n in scalar.nodes if n.attrs.get("leaf")]
+        assert "x[0]" not in leaves
+        assert "x[1]" in leaves
+
+    def test_limit_enforced(self):
+        source = (
+            "main(input float A[64][64], input float x[64], output float y[64]) {"
+            " index i[0:63], j[0:63]; y[j] = sum[i](A[j][i]*x[i]); }"
+        )
+        graph = build(source)
+        [node] = graph.compute_nodes()
+        with pytest.raises(GraphError, match="limit"):
+            expand_scalar(node, limit=100)
+
+    def test_only_compute_nodes_expandable(self, mpc_source):
+        graph = build(mpc_source, domain="RBT")
+        component = graph.component_nodes()[0]
+        with pytest.raises(GraphError):
+            expand_scalar(component)
+
+    def test_three_level_recursion_matches_paper(self, mpc_source):
+        # component -> statement -> scalar: the srDFG's full recursion.
+        graph = build(mpc_source, domain="RBT")
+        predict = next(
+            n for n in graph.component_nodes() if n.name == "predict_trajectory"
+        )
+        statement = predict.subgraph.compute_nodes()[0]
+        expand_scalar(statement)
+        assert graph.depth() >= 2
