@@ -20,10 +20,11 @@ import dataclasses
 import numpy as np
 import pytest
 
+from repro.driver import CompilerSession
 from repro.hw.cost import RooflineModel
 from repro.passes import AlgebraicCombination, DeadCodeElimination, PassManager, lower
 from repro.srdfg import Executor, build, expand_scalar
-from repro.targets import PolyMath, Robox, compile_to_targets, default_accelerators
+from repro.targets import Robox, compile_to_targets, default_accelerators
 from repro.targets.graphicionado_sim import simulate_sweep
 from repro.targets.tabla_schedule import TablaScheduler
 from repro.workloads import get_workload
@@ -68,8 +69,8 @@ class TestAlgebraicCombinationAblation:
 class TestResidencyAblation:
     def test_streaming_params_is_slower(self, emit):
         workload = get_workload("MobileRobot")
-        compiler = PolyMath(default_accelerators())
-        app = compiler.compile(workload.source(), domain="RBT")
+        session = CompilerSession(default_accelerators())
+        app = session.compile(workload.source(), domain="RBT")
         resident = app.accelerators["RBT"]
         streaming = Robox()
         # Ablate the scratchpad: one byte of capacity spills every param.
@@ -161,8 +162,8 @@ class TestTablaModelFidelity:
         from repro.targets import Tabla
 
         accelerator = Tabla()
-        compiler = PolyMath({"DA": accelerator}, run_pipeline=False)
-        app = compiler.compile(source, domain="DA")
+        session = CompilerSession({"DA": accelerator}, run_pipeline=False)
+        app = session.compile(source, domain="DA")
         fragment = next(
             f for f in app.programs["DA"].fragments if f.attrs.get("op_counts")
         )

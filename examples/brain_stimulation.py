@@ -15,16 +15,16 @@ import itertools
 
 import numpy as np
 
-from repro import PolyMath, SoCRuntime, default_accelerators, make_xeon
+from repro import CompilerSession, SoCRuntime, default_accelerators, make_xeon
 from repro.srdfg import Executor
 from repro.workloads import get_workload
 
 
 def main():
     workload = get_workload("BrainStimul")
-    accelerators = default_accelerators()
-    compiler = PolyMath(accelerators)
-    app = compiler.compile(workload.source(), domain=workload.domain)
+    session = CompilerSession(default_accelerators())
+    app = session.compile(workload.source(), domain=workload.domain)
+    accelerators = app.accelerators
 
     print("per-domain accelerator programs:")
     for domain, program in sorted(app.programs.items()):

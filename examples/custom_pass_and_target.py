@@ -17,7 +17,7 @@ Run with::
 
 import numpy as np
 
-from repro import PolyMath
+from repro import CompilerSession
 from repro.hw import HardwareParams
 from repro.passes import PassManager, Pass, default_pipeline
 from repro.pmlang import ast_nodes as ast
@@ -124,9 +124,15 @@ def main():
     )
     print(f"strength reduction: multiplies {muls_before} -> {muls_after}")
 
-    # Compile for the custom accelerator.
-    compiler = PolyMath({"DSP": VectorDsp()})
-    app = compiler.compile(SOURCE, domain="DSP")
+    # Compile for the custom accelerator, with the custom pass installed
+    # in the session's pipeline. The pass-pipeline fingerprint is part of
+    # the artifact cache key, so this never aliases a default-pipeline
+    # compile of the same source.
+    session = CompilerSession(
+        {"DSP": VectorDsp()},
+        pipeline_factory=lambda: default_pipeline().add(StrengthReduction()),
+    )
+    app = session.compile(SOURCE, domain="DSP")
     print("\nVectorDSP program:")
     print(app.programs["DSP"].listing())
     result, stats, _ = app.run(inputs={"x": x}, params={"gain": 0.5})

@@ -13,7 +13,7 @@ Run with::
 import networkx as nx
 import numpy as np
 
-from repro import PolyMath, default_accelerators
+from repro import CompilerSession, default_accelerators
 from repro.srdfg import Executor
 from repro.workloads import reference
 from repro.workloads.datasets import rmat_graph
@@ -40,10 +40,10 @@ def main():
         f"(density {graph_data.edges / graph_data.vertices**2:.4f})"
     )
 
-    accelerators = default_accelerators()
-    accelerators["GA"].data_hints.update(graph_data.hints)
-    compiler = PolyMath(accelerators)
-    app = compiler.compile(SOURCE, domain="GA")
+    # Graph-shape hints are bound per compile (onto accelerator copies in
+    # the returned application), never written into shared backends.
+    session = CompilerSession(default_accelerators())
+    app = session.compile(SOURCE, domain="GA", data_hints=graph_data.hints)
 
     pipeline = next(
         fragment
@@ -78,7 +78,7 @@ def main():
     print("levels match networkx single_source_shortest_path_length")
 
     # Per-sweep cost: the pipeline streams edges, not the dense lattice.
-    stats = accelerators["GA"].estimate(app.programs["GA"])
+    stats = app.accelerators["GA"].estimate(app.programs["GA"])
     print(f"estimated sweep time on GRAPHICIONADO: {stats.seconds * 1e6:.2f} us")
 
 

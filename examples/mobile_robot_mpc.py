@@ -12,7 +12,13 @@ Run with::
 
 import numpy as np
 
-from repro import PolyMath, default_accelerators, make_jetson, make_titan_xp, make_xeon
+from repro import (
+    CompilerSession,
+    default_accelerators,
+    make_jetson,
+    make_titan_xp,
+    make_xeon,
+)
 from repro.workloads import get_workload
 
 STEPS = 40
@@ -20,8 +26,8 @@ STEPS = 40
 
 def main():
     workload = get_workload("MobileRobot")
-    compiler = PolyMath(default_accelerators())
-    app = compiler.compile(workload.source(), domain="RBT")
+    session = CompilerSession(default_accelerators())
+    app = session.compile(workload.source(), domain="RBT")
 
     # Closed loop: the robot state evolves under the produced (v, w)
     # control signal; the controller sees the noisy state.

@@ -13,20 +13,20 @@ Run with::
 
 import numpy as np
 
-from repro import PolyMath, SoCRuntime, default_accelerators, make_xeon
+from repro import CompilerSession, SoCRuntime, default_accelerators, make_xeon
 from repro.srdfg import Executor
 from repro.workloads import get_workload
 
 
 def main():
     workload = get_workload("OptionPricing")
-    accelerators = default_accelerators(workload.accelerator_overrides)
-    compiler = PolyMath(accelerators)
-    app = compiler.compile(
+    session = CompilerSession(default_accelerators(workload.accelerator_overrides))
+    app = session.compile(
         workload.source(),
         domain=workload.domain,
         component_domains=workload.component_domains,
     )
+    accelerators = app.accelerators
 
     print("kernel -> accelerator assignment:")
     for domain, program in sorted(app.programs.items()):

@@ -8,7 +8,7 @@ Run with::
 
 import numpy as np
 
-from repro import Executor, PolyMath, build, default_accelerators
+from repro import CompilerSession, Executor, build, default_accelerators
 from repro.srdfg.visualize import render_text
 
 # A tiny cross-domain-flavoured program: a weighted moving average (DSP
@@ -50,14 +50,20 @@ def main():
     )
     print(f"score = {float(result.outputs['s']):.6f}")
 
-    # 3. Compile for the Table V accelerators: the DSP kernel goes to
-    # DECO, the analytics kernel to TABLA, with load/store fragments at
-    # the domain boundary (Algorithm 2).
-    compiler = PolyMath(default_accelerators())
-    app = compiler.compile(SOURCE, domain="DSP")
+    # 3. Compile for the Table V accelerators through a CompilerSession:
+    # the DSP kernel goes to DECO, the analytics kernel to TABLA, with
+    # load/store fragments at the domain boundary (Algorithm 2). The
+    # session instruments every stage and caches the artifact, so a
+    # recompile of the same program is a cache hit.
+    session = CompilerSession(default_accelerators())
+    app = session.compile(SOURCE, domain="DSP")
     for domain, program in app.programs.items():
         print(f"\n=== {domain} program on {program.target} ===")
         print(program.listing())
+
+    session.compile(SOURCE, domain="DSP")  # served from the artifact cache
+    print("\n=== compilation stage report ===")
+    print(session.stats_report())
 
     # 4. Run the compiled application: same functional result, plus a
     # cycle/energy estimate from the accelerator models.

@@ -20,6 +20,12 @@ Public API quick tour::
     print(repro.full_report())
 """
 
+from .driver import (
+    ArtifactCache,
+    CompilerSession,
+    Diagnostics,
+    StageRecord,
+)
 from .errors import (
     ExecutionError,
     GraphError,
@@ -43,6 +49,9 @@ from .workloads import get_workload, workload_names
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactCache",
+    "CompilerSession",
+    "Diagnostics",
     "ExecutionError",
     "Executor",
     "GraphError",
@@ -57,6 +66,7 @@ __all__ = [
     "ShapeError",
     "SoCRuntime",
     "SrDFG",
+    "StageRecord",
     "TargetError",
     "WorkloadError",
     "all_figures",

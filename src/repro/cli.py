@@ -5,6 +5,7 @@ Usage (``python -m repro <command>``)::
     python -m repro workloads                 # list Table III/IV workloads
     python -m repro check MobileRobot        # functional validation
     python -m repro compile prog.pm --domain RBT   # show accelerator IR
+    python -m repro stats prog.pm            # stage timings + cache report
     python -m repro show prog.pm [--dot]     # srDFG (text or GraphViz)
     python -m repro tables                   # Tables I-VI
     python -m repro figures [fig7 ...]       # regenerate figures
@@ -15,6 +16,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _session():
+    """A CompilerSession over the Table V default accelerators."""
+    from .driver import CompilerSession
+    from .targets import default_accelerators
+
+    return CompilerSession(default_accelerators())
 
 
 def _cmd_workloads(args):
@@ -52,11 +61,8 @@ def _load_source(path):
 
 
 def _cmd_compile(args):
-    from .targets import PolyMath, default_accelerators
-
     source = _load_source(args.source)
-    compiler = PolyMath(default_accelerators())
-    app = compiler.compile(source, domain=args.domain)
+    app = _session().compile(source, domain=args.domain)
     for domain, program in sorted(app.programs.items()):
         print(f"=== {domain} -> {program.target} ({len(program)} fragments) ===")
         print(program.listing())
@@ -64,12 +70,27 @@ def _cmd_compile(args):
     return 0
 
 
-def _cmd_profile(args):
-    from .targets import PolyMath, default_accelerators
+def _cmd_stats(args):
+    from .errors import PolyMathError
 
     source = _load_source(args.source)
-    compiler = PolyMath(default_accelerators())
-    app = compiler.compile(source, domain=args.domain)
+    session = _session()
+    failed = False
+    for _ in range(max(1, args.repeat)):
+        try:
+            session.compile(source, domain=args.domain)
+        except PolyMathError:
+            # The error is already in the session's diagnostics stream,
+            # which the report below renders with source locations.
+            failed = True
+            break
+    print(session.stats_report())
+    return 1 if failed else 0
+
+
+def _cmd_profile(args):
+    source = _load_source(args.source)
+    app = _session().compile(source, domain=args.domain)
     print(app.profile_report(top=args.top))
     return 0
 
@@ -95,12 +116,10 @@ def _cmd_dse(args):
 
 
 def _cmd_save_ir(args):
-    from .targets import PolyMath, default_accelerators
     from .targets.serialize import application_to_json
 
     source = _load_source(args.source)
-    compiler = PolyMath(default_accelerators())
-    app = compiler.compile(source, domain=args.domain)
+    app = _session().compile(source, domain=args.domain)
     text = application_to_json(app, indent=2)
     if args.out:
         with open(args.out, "w") as handle:
@@ -179,6 +198,20 @@ def build_parser():
     compile_cmd.add_argument("source", help="PMLang file path (- for stdin)")
     compile_cmd.add_argument("--domain", default=None, help="top-level domain tag")
     compile_cmd.set_defaults(func=_cmd_compile)
+
+    stats = sub.add_parser(
+        "stats", help="per-stage compile timings, deltas, and cache report"
+    )
+    stats.add_argument("source", help="PMLang file path (- for stdin)")
+    stats.add_argument("--domain", default=None, help="top-level domain tag")
+    stats.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="compile the program N times (default 2, demonstrating the "
+        "artifact cache)",
+    )
+    stats.set_defaults(func=_cmd_stats)
 
     profile = sub.add_parser("profile", help="per-fragment cost profile")
     profile.add_argument("source", help="PMLang file path (- for stdin)")

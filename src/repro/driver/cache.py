@@ -1,0 +1,136 @@
+"""Content-addressed artifact cache for compiled applications.
+
+Compiling the same workload repeatedly is the harness's common case (each
+figure recompiles its workloads, ``bench_ablation`` recompiles per
+configuration), so the session keys every compile on
+
+    (source hash, entry, domain annotations,
+     accelerator config fingerprint, pass-pipeline fingerprint)
+
+and serves repeats from memory — or, when a ``cache_dir`` is given, from a
+pickle-per-key on-disk tier that survives across processes. Disk writes
+degrade gracefully: an artifact that will not pickle stays memory-only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+
+def fingerprint(*parts):
+    """sha256 hex digest over the stable repr of *parts*."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def accelerator_fingerprint(accelerators):
+    """Stable fingerprint of an accelerator configuration dict.
+
+    Captures everything translation and cost modelling depend on: the
+    backend class, its name, the AccSpec capability sets, and the full
+    hardware parameter set (so a DSE-configured variant never aliases the
+    stock backend). Workload ``data_hints`` are deliberately excluded —
+    they are bound per compile and do not change the compiled artifact.
+    """
+    parts = []
+    for domain in sorted(accelerators):
+        accelerator = accelerators[domain]
+        spec = accelerator.spec
+        parts.append(
+            (
+                domain,
+                type(accelerator).__name__,
+                accelerator.name,
+                tuple(sorted(spec.supported_ops)),
+                tuple(sorted(spec.scalar_classes)),
+                tuple(sorted(spec.macro_components)),
+                tuple(sorted(spec.translations)),
+                repr(accelerator.params),
+            )
+        )
+    return fingerprint(*parts)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    disk_hits: int = 0
+    disk_errors: int = 0
+
+    def render(self):
+        line = f"{self.hits} hit(s) / {self.misses} miss(es), {self.stores} store(s)"
+        if self.disk_hits or self.disk_errors:
+            line += f"; disk: {self.disk_hits} hit(s), {self.disk_errors} error(s)"
+        return line
+
+
+@dataclass
+class ArtifactCache:
+    """Two-tier (memory, optional disk) cache keyed by content hash."""
+
+    cache_dir: Optional[str] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _memory: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.cache_dir is not None:
+            self.cache_dir = Path(self.cache_dir)
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key):
+        return self.cache_dir / f"{key}.pkl"
+
+    def get(self, key):
+        """Cached artifact for *key*, or None (counts a hit/miss)."""
+        if key in self._memory:
+            self.stats.hits += 1
+            return self._memory[key]
+        if self.cache_dir is not None:
+            path = self._path(key)
+            if path.exists():
+                try:
+                    with open(path, "rb") as handle:
+                        artifact = pickle.load(handle)
+                except Exception:
+                    self.stats.disk_errors += 1
+                else:
+                    self._memory[key] = artifact
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    return artifact
+        self.stats.misses += 1
+        return None
+
+    def put(self, key, artifact):
+        self._memory[key] = artifact
+        self.stats.stores += 1
+        if self.cache_dir is not None:
+            try:
+                payload = pickle.dumps(artifact)
+            except Exception:
+                # Unpicklable artifacts (exotic user extensions) stay
+                # memory-resident; the session reports this as a warning.
+                self.stats.disk_errors += 1
+                return False
+            self._path(key).write_bytes(payload)
+        return True
+
+    def clear(self):
+        self._memory.clear()
+
+    def __len__(self):
+        return len(self._memory)
+
+    def __contains__(self, key):
+        return key in self._memory

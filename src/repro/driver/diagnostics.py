@@ -1,0 +1,103 @@
+"""Session-wide diagnostics engine.
+
+Every compilation stage reports through one :class:`Diagnostics` instance,
+so a driver (CLI, harness, tests) sees the complete, ordered stream of
+notes/warnings/errors with source locations where the front end has them.
+Mirrors the "fail loudly at its own boundary" philosophy of the pass
+manager: a stage that degrades (scalar fallback, cache spill to memory)
+says so instead of silently changing behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+NOTE = "note"
+WARNING = "warning"
+ERROR = "error"
+
+_SEVERITIES = (NOTE, WARNING, ERROR)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One source-located message emitted during compilation."""
+
+    severity: str
+    message: str
+    stage: Optional[str] = None
+    line: Optional[int] = None
+    column: Optional[int] = None
+
+    def render(self):
+        location = ""
+        if self.line is not None:
+            location = f" at line {self.line}"
+            if self.column is not None:
+                location += f", col {self.column}"
+        stage = f" [{self.stage}]" if self.stage else ""
+        return f"{self.severity}{stage}: {self.message}{location}"
+
+
+class Diagnostics:
+    """Ordered collection of diagnostics for one compiler session."""
+
+    def __init__(self):
+        self.entries: List[Diagnostic] = []
+
+    def emit(self, severity, message, stage=None, line=None, column=None):
+        if severity not in _SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}")
+        diagnostic = Diagnostic(
+            severity=severity, message=message, stage=stage, line=line, column=column
+        )
+        self.entries.append(diagnostic)
+        return diagnostic
+
+    def note(self, message, **kwargs):
+        return self.emit(NOTE, message, **kwargs)
+
+    def warning(self, message, **kwargs):
+        return self.emit(WARNING, message, **kwargs)
+
+    def error(self, message, **kwargs):
+        return self.emit(ERROR, message, **kwargs)
+
+    # -- queries -----------------------------------------------------------
+
+    def by_severity(self, severity):
+        return [entry for entry in self.entries if entry.severity == severity]
+
+    @property
+    def warnings(self):
+        return self.by_severity(WARNING)
+
+    @property
+    def errors(self):
+        return self.by_severity(ERROR)
+
+    @property
+    def has_errors(self):
+        return bool(self.errors)
+
+    def counts(self):
+        """``{severity: count}`` over all entries."""
+        tally = {severity: 0 for severity in _SEVERITIES}
+        for entry in self.entries:
+            tally[entry.severity] += 1
+        return tally
+
+    def clear(self):
+        self.entries.clear()
+
+    def render(self):
+        if not self.entries:
+            return "no diagnostics"
+        return "\n".join(entry.render() for entry in self.entries)
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)

@@ -23,6 +23,9 @@ class PMLangSyntaxError(PolyMathError):
     def __init__(self, message, line=None, column=None):
         self.line = line
         self.column = column
+        #: The bare message, without the location suffix ``str()`` adds —
+        #: diagnostics render the location themselves.
+        self.message = message
         location = ""
         if line is not None:
             location = f" (line {line}" + (f", col {column}" if column is not None else "") + ")"

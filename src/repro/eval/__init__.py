@@ -12,7 +12,8 @@ from .figures import (
     figure12,
     figure13,
 )
-from .harness import BenchmarkRun, Harness, geomean
+from ..util import geomean
+from .harness import BenchmarkRun, Harness
 from .optimal import estimate_expert, percent_of_optimal
 from .report import full_report
 from .tables import TableData, all_tables, table1, table2, table3, table4, table5, table6

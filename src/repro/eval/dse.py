@@ -14,11 +14,11 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict
 
+from ..driver import CompilerSession
 from ..hw.cost import RooflineModel
-from ..targets import PolyMath
 from ..workloads import get_workload
 
 
@@ -60,31 +60,34 @@ def _configured(accelerator_cls, overrides):
     return accelerator
 
 
-def explore(workload_name, accelerator_cls, grid, iterations=None):
+def explore(workload_name, accelerator_cls, grid, iterations=None, session=None):
     """Sweep *grid* (name -> list of values) for one workload.
 
-    The program is compiled once (lowering depends only on the
+    The program is compiled once through a
+    :class:`~repro.driver.CompilerSession` (lowering depends only on the
     accelerator's supported-op sets, which configuration changes do not
     touch); each grid point re-prices the same fragment stream under its
-    own hardware model. Returns one :class:`DesignPoint` per point of the
-    cartesian product.
+    own hint-bound hardware model. Returns one :class:`DesignPoint` per
+    point of the cartesian product.
     """
     workload = get_workload(workload_name)
     iterations = iterations or workload.perf_iterations
     hints = workload.hints()
 
-    base = accelerator_cls()
-    base.data_hints.update(hints)
-    compiler = PolyMath({workload.domain: base})
-    app = compiler.compile(workload.source(), domain=workload.domain)
+    session = session or CompilerSession()
+    app = session.compile(
+        workload.source(),
+        domain=workload.domain,
+        accelerators={workload.domain: accelerator_cls()},
+        data_hints=hints,
+    )
     program = app.programs[workload.domain]
 
     names = sorted(grid)
     points = []
     for values in itertools.product(*(grid[name] for name in names)):
         config = dict(zip(names, values))
-        accelerator = _configured(accelerator_cls, config)
-        accelerator.data_hints.update(hints)
+        accelerator = _configured(accelerator_cls, config).bound(hints)
         stats = accelerator.estimate(program).scaled(iterations)
         points.append(
             DesignPoint(config=config, seconds=stats.seconds, energy_j=stats.energy_j)

@@ -12,7 +12,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..workloads import END_TO_END, SINGLE_DOMAIN
-from .harness import Harness, geomean
+from ..util import geomean
+from .harness import Harness
 
 
 @dataclass

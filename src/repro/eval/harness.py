@@ -4,20 +4,30 @@ One :class:`BenchmarkRun` holds everything the figure generators need for
 one Table III workload: per-paper-scale-run PerfStats on the accelerator,
 the Xeon, both GPUs, and the modelled expert implementation. End-to-end
 applications additionally get per-combination SoC runs (Fig 10/11).
+
+Compilation goes through one shared
+:class:`~repro.driver.CompilerSession`: each figure that re-requests a
+workload is an artifact-cache hit rather than a re-parse, and workload
+cost hints are bound onto per-compile accelerator copies (never written
+into shared accelerator state, so one workload's hints cannot leak into
+another's estimates).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from functools import lru_cache
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
+from ..driver import CompilerSession
 from ..hw import SoCRuntime, make_jetson, make_titan_xp, make_xeon
 from ..hw.cost import PerfStats
-from ..targets import PolyMath, default_accelerators
-from ..workloads import END_TO_END, SINGLE_DOMAIN, get_workload
+from ..targets import default_accelerators
+from ..util import geomean
+from ..workloads import SINGLE_DOMAIN, get_workload
 from .optimal import estimate_expert, percent_of_optimal
+
+__all__ = ["BenchmarkRun", "Harness", "geomean"]
 
 
 @dataclass
@@ -58,51 +68,55 @@ class BenchmarkRun:
         return percent_of_optimal(self.accel, self.expert)
 
 
-def _geomean(values):
-    import numpy as np
-
-    array = np.asarray([value for value in values if value > 0], dtype=np.float64)
-    if array.size == 0:
-        return 0.0
-    return float(np.exp(np.mean(np.log(array))))
-
-
 class Harness:
-    """Compiles and measures workloads, with caching across figures."""
+    """Compiles and measures workloads through one CompilerSession.
 
-    def __init__(self, validate=False):
+    Compilation caching lives in the session's content-addressed artifact
+    cache (not in harness-private dicts); the harness only memoises
+    finished *measurements* (:class:`BenchmarkRun` instances), which are
+    derived data, not compiler state.
+    """
+
+    def __init__(self, validate=False, session=None):
         self.validate = validate
-        self._runs: Dict[str, BenchmarkRun] = {}
-        self._apps: Dict[str, tuple] = {}
+        self.session = session or CompilerSession()
+        self._workloads: Dict[str, object] = {}
+        self._measurements: Dict[str, BenchmarkRun] = {}
 
     # -- compilation ----------------------------------------------------------
 
+    def workload(self, name):
+        """The (cached) workload instance for *name*."""
+        if name not in self._workloads:
+            self._workloads[name] = get_workload(name)
+        return self._workloads[name]
+
     def compiled(self, name):
-        """(workload, CompiledApplication, accelerators) for *name*."""
-        if name not in self._apps:
-            workload = get_workload(name)
-            accelerators = default_accelerators(
-                getattr(workload, "accelerator_overrides", None)
-            )
-            hints = workload.hints()
-            for accelerator in accelerators.values():
-                if hasattr(accelerator, "data_hints"):
-                    accelerator.data_hints.update(hints)
-            compiler = PolyMath(accelerators)
-            app = compiler.compile(
-                workload.source(),
-                domain=workload.domain,
-                component_domains=getattr(workload, "component_domains", None),
-            )
-            self._apps[name] = (workload, app, accelerators)
-        return self._apps[name]
+        """(workload, CompiledApplication, accelerators) for *name*.
+
+        The application's accelerators are per-compile copies carrying the
+        workload's data hints; the session's shared accelerator state is
+        never mutated.
+        """
+        workload = self.workload(name)
+        accelerators = default_accelerators(
+            getattr(workload, "accelerator_overrides", None)
+        )
+        app = self.session.compile(
+            workload.source(),
+            domain=workload.domain,
+            component_domains=getattr(workload, "component_domains", None),
+            accelerators=accelerators,
+            data_hints=workload.hints(),
+        )
+        return workload, app, app.accelerators
 
     # -- single-workload measurement ------------------------------------------------
 
     def run(self, name):
-        """Measure one workload; cached."""
-        if name in self._runs:
-            return self._runs[name]
+        """Measure one workload; measurements are memoised."""
+        if name in self._measurements:
+            return self._measurements[name]
         workload, app, accelerators = self.compiled(name)
         hints = workload.hints()
         iterations = workload.perf_iterations
@@ -140,7 +154,7 @@ class Harness:
             functional_error=functional_error,
             pmlang_loc=workload.pmlang_loc,
         )
-        self._runs[name] = run
+        self._measurements[name] = run
         return run
 
     def run_all(self, names=SINGLE_DOMAIN):
@@ -210,8 +224,3 @@ class _ScaledReport:
         if self.total.seconds <= 0:
             return 0.0
         return self.communication.seconds / self.total.seconds
-
-
-def geomean(values):
-    """Public geomean used by figure code."""
-    return _geomean(values)

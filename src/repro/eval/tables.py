@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import List, Tuple
 
 from ..hw import JETSON_XAVIER_PARAMS, TITAN_XP_PARAMS, XEON_PARAMS
-from ..pmlang.tokens import DOMAINS, ELEMENT_TYPES, TYPE_MODIFIERS
+from ..pmlang.tokens import DOMAINS, ELEMENT_TYPES
 from ..targets import ACCELERATORS, DEFAULT_BY_DOMAIN
 from ..workloads import END_TO_END, SINGLE_DOMAIN, get_workload
 

@@ -20,11 +20,11 @@ DMA between stages matches the hardware), charging:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from ..srdfg.graph import COMPUTE
 from .cost import DRAM_PJ_PER_BYTE, PerfStats
-from .cpu import BaselinePlatform, make_xeon
+from .cpu import make_xeon
 
 #: Host-manager cost of initiating one DMA transfer.
 HOST_DMA_DISPATCH_S = 5e-6

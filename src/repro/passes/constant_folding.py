@@ -21,7 +21,6 @@ import math
 from ..pmlang import ast_nodes as ast
 from ..pmlang.builtins import SCALAR_FUNCTIONS
 from ..srdfg import opclass
-from ..srdfg.graph import COMPUTE
 from .base import Pass
 
 _FOLDABLE_BINOPS = {

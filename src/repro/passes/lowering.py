@@ -24,7 +24,7 @@ graph and the original multi-granularity graph and compare outputs.
 from __future__ import annotations
 
 from ..errors import LoweringError
-from ..srdfg.graph import COMPONENT, COMPUTE, CONST, VAR, Node
+from ..srdfg.graph import COMPONENT, COMPUTE, VAR, Node
 from ..srdfg.metadata import LOCAL, VarInfo
 
 

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Callable, List
 
 from ..errors import PassError
 from .base import Pass
@@ -11,13 +12,18 @@ from .base import Pass
 
 @dataclass
 class PassReport:
-    """What one pass did to the graph (node/edge deltas)."""
+    """What one pass did to the graph (node/edge deltas plus wall time).
+
+    Counts are *recursive* — they include every nested subgraph — so
+    passes that rewrite component bodies report their real work.
+    """
 
     name: str
     nodes_before: int
     nodes_after: int
     edges_before: int
     edges_after: int
+    seconds: float = 0.0
 
     @property
     def removed_nodes(self):
@@ -36,9 +42,14 @@ class PipelineResult:
         for report in self.reports:
             lines.append(
                 f"{report.name}: nodes {report.nodes_before}->{report.nodes_after}, "
-                f"edges {report.edges_before}->{report.edges_after}"
+                f"edges {report.edges_before}->{report.edges_after} "
+                f"({report.seconds * 1e3:.3f} ms)"
             )
         return "\n".join(lines)
+
+    @property
+    def seconds(self):
+        return sum(report.seconds for report in self.reports)
 
 
 class PassManager:
@@ -46,13 +57,16 @@ class PassManager:
 
     Passes can be appended programmatically, which is the paper's
     "conveniently enables creation and application of pipelined
-    compilation passes on the srDFG".
+    compilation passes on the srDFG". *hooks* are stage callbacks invoked
+    with each :class:`PassReport` as it is produced — the compiler
+    session uses them to feed per-pass records into its stage stream.
     """
 
-    def __init__(self, passes=(), validate=True, recursive=True):
+    def __init__(self, passes=(), validate=True, recursive=True, hooks=()):
         self.passes: List[Pass] = list(passes)
         self.validate = validate
         self.recursive = recursive
+        self.hooks: List[Callable] = list(hooks)
 
     def add(self, pass_instance):
         """Append a pass; returns self for chaining."""
@@ -61,14 +75,24 @@ class PassManager:
         self.passes.append(pass_instance)
         return self
 
+    def add_hook(self, hook):
+        """Register ``hook(PassReport)``; returns self for chaining."""
+        if not callable(hook):
+            raise PassError(f"hook {hook!r} is not callable")
+        self.hooks.append(hook)
+        return self
+
+    def _counts(self, graph):
+        if self.recursive:
+            return graph.total_counts()
+        return len(graph.nodes), len(graph.edges)
+
     def run(self, graph):
         """Apply every pass in order; returns :class:`PipelineResult`."""
         result = PipelineResult(graph=graph)
         for pass_instance in self.passes:
-            def _counts(target):
-                return len(target.nodes), len(target.edges)
-
-            nodes_before, edges_before = _counts(graph)
+            nodes_before, edges_before = self._counts(graph)
+            start = time.perf_counter()
             try:
                 if self.recursive:
                     graph = pass_instance.run_recursive(graph)
@@ -82,15 +106,18 @@ class PassManager:
                 ) from exc
             if self.validate:
                 graph.validate()
-            nodes_after, edges_after = _counts(graph)
-            result.reports.append(
-                PassReport(
-                    name=pass_instance.name,
-                    nodes_before=nodes_before,
-                    nodes_after=nodes_after,
-                    edges_before=edges_before,
-                    edges_after=edges_after,
-                )
+            seconds = time.perf_counter() - start
+            nodes_after, edges_after = self._counts(graph)
+            report = PassReport(
+                name=pass_instance.name,
+                nodes_before=nodes_before,
+                nodes_after=nodes_after,
+                edges_before=edges_before,
+                edges_after=edges_after,
+                seconds=seconds,
             )
+            result.reports.append(report)
+            for hook in self.hooks:
+                hook(report)
         result.graph = graph
         return result

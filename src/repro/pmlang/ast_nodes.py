@@ -10,7 +10,7 @@ line so later phases can report precise errors.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 
 # --------------------------------------------------------------------------

@@ -16,7 +16,6 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-import numpy as np
 
 from ..errors import ShapeError
 from ..pmlang import ast_nodes as ast

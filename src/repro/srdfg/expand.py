@@ -17,7 +17,7 @@ import itertools
 
 from ..errors import GraphError
 from ..pmlang import ast_nodes as ast
-from ..pmlang.builtins import BINOP_COST, SCALAR_FUNCTIONS, is_builtin_reduction
+from ..pmlang.builtins import is_builtin_reduction
 from .graph import SCALAR, Node, SrDFG
 from .metadata import EdgeMeta, LOCAL
 

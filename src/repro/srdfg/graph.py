@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..errors import GraphError
 from .metadata import EdgeMeta, STATE
@@ -232,6 +232,22 @@ class SrDFG:
                 max_depth is None or _depth + 1 <= max_depth
             ):
                 yield from node.subgraph.walk(max_depth=max_depth, _depth=_depth + 1)
+
+    def total_counts(self):
+        """Recursive ``(nodes, edges)`` including every nested subgraph.
+
+        Pass and stage instrumentation uses this so transformations that
+        rewrite *nested* srDFGs (the common case for recursive passes)
+        report real deltas instead of zeros.
+        """
+        nodes = len(self.nodes)
+        edges = len(self.edges)
+        for node in self.nodes:
+            if node.subgraph is not None:
+                sub_nodes, sub_edges = node.subgraph.total_counts()
+                nodes += sub_nodes
+                edges += sub_edges
+        return nodes, edges
 
     def depth(self):
         """Maximum recursion depth beneath this graph (0 when flat)."""

@@ -27,7 +27,7 @@ semantics:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
@@ -746,7 +746,6 @@ def evaluate_statement(
     raw = np.asarray(raw)
     if raw.ndim == space.total and space.total > 0:
         # Drop reduction axes (all size 1 after keepdims-style reduction).
-        keep = tuple(range(space.free_count))
         squeeze_axes = tuple(
             axis for axis in range(space.free_count, space.total)
         )

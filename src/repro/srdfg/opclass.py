@@ -14,15 +14,13 @@ from the real structure of the program rather than hard-coded constants.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..pmlang import ast_nodes as ast
 from ..pmlang.builtins import (
     BINOP_COST,
     COST_ALU,
-    COST_DIV,
     COST_MUL,
-    COST_NONLINEAR,
     SCALAR_FUNCTIONS,
     is_builtin_reduction,
 )

@@ -19,6 +19,7 @@ reference path) while charging cycles/energy per fragment.
 
 from __future__ import annotations
 
+import copy
 from abc import ABC
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -143,6 +144,22 @@ class Accelerator(ABC):
         #: algorithmic work to the dense srDFG lattice (sparse workloads),
         #: applied identically to every platform's cost model.
         self.data_hints = dict(data_hints or {})
+
+    def bound(self, data_hints=None):
+        """Shallow copy of this backend with its own hint dictionary.
+
+        Cost hints are workload properties, not hardware properties, so a
+        shared accelerator instance must never be mutated with them — one
+        workload's ``op_scale`` would silently leak into the next
+        workload's estimates. The compiler session binds hints per
+        compile through this method; spec, params, and the cost model are
+        shared with the original (they are configuration, and read-only).
+        """
+        clone = copy.copy(self)
+        clone.data_hints = dict(self.data_hints)
+        if data_hints:
+            clone.data_hints.update(data_hints)
+        return clone
 
     # -- Algorithm 1 inputs -----------------------------------------------------
 

@@ -13,14 +13,12 @@ that is exactly the loop structure of Algorithm 2 in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict
 
 from ..errors import TargetError
 from ..hw.cost import PerfStats
-from ..passes import default_pipeline
-from ..passes.lowering import lower
-from ..srdfg.builder import build
 from ..srdfg.graph import VAR
 from .base import Accelerator, AcceleratorProgram, IRFragment
 
@@ -138,6 +136,23 @@ class CompiledApplication:
     accelerators: Dict[str, Accelerator]
     source_graph: object = None  # pre-lowering srDFG
 
+    def with_hints(self, data_hints):
+        """This application with *data_hints* bound onto accelerator copies.
+
+        The compiled programs do not depend on hints (only cost estimation
+        does), so the graph and fragment streams are shared; only the
+        accelerator dictionary is replaced with hint-bound shallow copies.
+        With no hints the application is returned unchanged — cached
+        artifacts stay pristine either way.
+        """
+        if not data_hints:
+            return self
+        bound = {
+            domain: accelerator.bound(data_hints)
+            for domain, accelerator in self.accelerators.items()
+        }
+        return dataclasses.replace(self, accelerators=bound)
+
     def run(self, inputs=None, params=None, state=None):
         """Execute functionally; returns (ExecutionResult, PerfStats).
 
@@ -239,38 +254,48 @@ def retag_component_domain(graph, component_name, domain):
 
 
 class PolyMath:
-    """The cross-domain compiler: PMLang -> srDFG -> passes -> targets."""
+    """The cross-domain compiler: PMLang -> srDFG -> passes -> targets.
 
-    def __init__(self, accelerators, run_pipeline=True):
-        self.accelerators = dict(accelerators)
-        self.run_pipeline = run_pipeline
+    A thin facade over :class:`repro.driver.CompilerSession`. Every
+    ``PolyMath`` owns a session, so repeated compiles of the same source
+    through one compiler instance are artifact-cache hits, and
+    ``compiler.session`` exposes stage records, timings, cache counters,
+    and diagnostics for inspection.
+    """
 
-    def compile(self, source, entry="main", domain=None, component_domains=None):
+    def __init__(self, accelerators, run_pipeline=True, session=None):
+        from ..driver import CompilerSession
+
+        self.session = session or CompilerSession(
+            accelerators, run_pipeline=run_pipeline
+        )
+        self.accelerators = self.session.accelerators
+        self.run_pipeline = self.session.run_pipeline
+
+    @property
+    def diagnostics(self):
+        return self.session.diagnostics
+
+    def compile(
+        self,
+        source,
+        entry="main",
+        domain=None,
+        component_domains=None,
+        data_hints=None,
+    ):
         """Compile PMLang *source*; returns :class:`CompiledApplication`.
 
         *component_domains* optionally remaps named component
         instantiations to custom domain tags (see
-        :func:`retag_component_domain`).
+        :func:`retag_component_domain`); *data_hints* are bound onto
+        per-compile accelerator copies (see
+        :meth:`CompiledApplication.with_hints`).
         """
-        graph = build(source, entry=entry, domain=domain)
-        # Keep an untouched multi-granularity graph for inspection/tests;
-        # passes and lowering mutate their input in place.
-        source_graph = build(source, entry=entry, domain=domain)
-        for name, tag in (component_domains or {}).items():
-            retag_component_domain(graph, name, tag)
-            retag_component_domain(source_graph, name, tag)
-        if self.run_pipeline:
-            graph = default_pipeline().run(graph).graph
-        om = {name: acc.om_entry() for name, acc in self.accelerators.items()}
-        scalar_om = {
-            name: acc.scalar_entry() for name, acc in self.accelerators.items()
-        }
-        lowered = lower(graph, om, scalar_om)
-        lowered.validate()
-        programs = compile_to_targets(lowered, self.accelerators)
-        return CompiledApplication(
-            graph=lowered,
-            programs=programs,
-            accelerators=self.accelerators,
-            source_graph=source_graph,
+        return self.session.compile(
+            source,
+            entry=entry,
+            domain=domain,
+            component_domains=component_domains,
+            data_hints=data_hints,
         )

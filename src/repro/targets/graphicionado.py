@@ -16,7 +16,6 @@ functional validation. See DESIGN.md's substitution notes.
 from __future__ import annotations
 
 from ..hw.cost import HardwareParams, PerfStats
-from ..srdfg.graph import COMPUTE
 from .base import Accelerator, AcceleratorSpec, IRFragment, _edge_operands
 
 _GROUP_OPS = frozenset(

@@ -14,7 +14,7 @@ in ``tests/test_graphicionado_sim.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 

@@ -11,7 +11,7 @@ each backed by a dedicated hardened sub-pipeline.
 
 from __future__ import annotations
 
-from ..hw.cost import HardwareParams, PerfStats
+from ..hw.cost import HardwareParams
 from .base import Accelerator, AcceleratorSpec
 
 _GROUP_OPS = frozenset(

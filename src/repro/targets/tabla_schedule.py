@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..pmlang.builtins import SCALAR_FUNCTIONS
 from ..srdfg.expand import expand_scalar

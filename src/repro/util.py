@@ -1,0 +1,19 @@
+"""Small shared numeric utilities used across the stack."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def geomean(values):
+    """Geometric mean over the positive entries of *values*.
+
+    Non-positive entries are ignored (a speedup of zero is a measurement
+    artefact, not a data point); an empty or all-non-positive input yields
+    0.0. This is the single geomean implementation — the evaluation
+    figures, tables, and benchmarks all import it from here.
+    """
+    array = np.asarray([value for value in values if value > 0], dtype=np.float64)
+    if array.size == 0:
+        return 0.0
+    return float(np.exp(np.mean(np.log(array))))

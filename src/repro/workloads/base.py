@@ -15,8 +15,8 @@ harness consumes workloads uniformly:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict
 
 import numpy as np
 

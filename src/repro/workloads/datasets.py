@@ -14,8 +14,7 @@ All generators are deterministic given a seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -49,7 +48,6 @@ def rmat_graph(vertices, avg_degree, seed=0, a=0.57, b=0.19, c=0.19):
     """
     rng = np.random.default_rng(seed)
     levels = int(np.ceil(np.log2(vertices)))
-    size = 1 << levels
     target_edges = vertices * avg_degree
 
     count = int(target_edges * 1.2)

@@ -227,7 +227,6 @@ class ResNet18(_CnnWorkload):
         params = self.builder.params
         x = self.image
         x = reference.relu(reference.conv2d(x, params["stem_W"], stride=1, pad=1))
-        hw = self.input_hw
         cin = self.widths[0]
         for stage, width in enumerate(self.widths):
             for block in range(self.blocks_per_stage):

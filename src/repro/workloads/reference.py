@@ -19,7 +19,6 @@ library.
 from __future__ import annotations
 
 import numpy as np
-from scipy import fft as sp_fft
 from scipy import special as sp_special
 
 # ---------------------------------------------------------------------------

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ShapeError
 from repro.pmlang.parser import parse
 from repro.srdfg import build, eval_static
-from repro.srdfg.graph import COMPONENT, COMPUTE, VAR
+from repro.srdfg.graph import COMPUTE
 
 
 class TestEvalStatic:

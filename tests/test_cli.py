@@ -34,6 +34,26 @@ class TestCompileCommand:
         assert "matvec" in out
 
 
+class TestStatsCommand:
+    def test_stats_reports_stages_and_cache(self, capsys, mpc_file):
+        assert main(["stats", mpc_file, "--domain", "RBT"]) == 0
+        out = capsys.readouterr().out
+        for stage in ("parse", "semantic", "srdfg-build", "optimize",
+                      "lower", "translate"):
+            assert stage in out
+        # Default --repeat 2: the second compile hits the artifact cache.
+        assert "cache-hit" in out
+        assert "1 hit(s) / 1 miss(es)" in out
+        assert "nodes" in out and "edges" in out
+        assert "diagnostics:" in out
+
+    def test_stats_single_compile_never_hits(self, capsys, mpc_file):
+        assert main(["stats", mpc_file, "--domain", "RBT", "--repeat", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "cache-hit" not in out
+        assert "0 hit(s) / 1 miss(es)" in out
+
+
 class TestShowCommand:
     def test_text_rendering(self, capsys, mpc_file):
         assert main(["show", mpc_file, "--domain", "RBT"]) == 0

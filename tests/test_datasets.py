@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.workloads.datasets import (
-    GraphData,
     bandlimited_signal,
     gaussian_clusters,
     image_batch,

@@ -1,0 +1,250 @@
+"""Tests for the instrumented compilation driver (`repro.driver`)."""
+
+import pytest
+
+from repro.driver import (
+    CACHE_HIT_STAGE,
+    STAGES,
+    ArtifactCache,
+    CompilerSession,
+    Diagnostics,
+    StageRecord,
+    accelerator_fingerprint,
+    fingerprint,
+)
+from repro.driver.diagnostics import Diagnostic
+from repro.errors import PMLangSyntaxError, TargetError
+from repro.passes import default_pipeline
+from repro.targets import PolyMath, Robox, Tabla, default_accelerators
+
+
+@pytest.fixture()
+def session():
+    return CompilerSession(default_accelerators())
+
+
+class TestStageRecords:
+    def test_cold_compile_runs_every_stage_once(self, session, mpc_source):
+        session.compile(mpc_source, domain="RBT")
+        executions = session.stage_executions()
+        for stage in STAGES:
+            assert executions[stage] == 1, stage
+        assert CACHE_HIT_STAGE not in executions
+
+    def test_per_pass_records_nest_under_optimize(self, session, mpc_source):
+        session.compile(mpc_source, domain="RBT")
+        names = {r.stage for r in session.records}
+        for expected in ("optimize/constant-folding", "optimize/cse",
+                         "optimize/dead-code-elimination"):
+            assert expected in names
+
+    def test_build_stage_reports_graph_growth(self, session, mpc_source):
+        session.compile(mpc_source, domain="RBT")
+        [build] = [r for r in session.records if r.stage == "srdfg-build"]
+        assert build.nodes_before == 0 and build.edges_before == 0
+        assert build.node_delta > 0 and build.edge_delta > 0
+        assert build.seconds >= 0.0
+
+    def test_deltas_are_recursive(self, session, mpc_source):
+        """The MPC program nests component subgraphs; stage records must
+        count them, not just the top level."""
+        app = session.compile(mpc_source, domain="RBT")
+        [build] = [r for r in session.records if r.stage == "srdfg-build"]
+        top_level = len(app.source_graph.nodes)
+        assert build.nodes_after > top_level
+
+    def test_stage_hooks_see_every_record(self, session, mpc_source):
+        seen = []
+        assert session.add_stage_hook(seen.append) is session
+        session.compile(mpc_source, domain="RBT")
+        assert seen == session.records
+        with pytest.raises(TypeError):
+            session.add_stage_hook("not-callable")
+
+    def test_record_render_mentions_stage_and_time(self):
+        record = StageRecord(stage="parse", seconds=0.25, detail="2 component(s)")
+        text = record.render()
+        assert "parse" in text and "ms" in text and "2 component(s)" in text
+
+
+class TestArtifactCache:
+    def test_second_compile_is_a_cache_hit(self, session, mpc_source):
+        """Acceptance criterion: zero re-parses / re-builds on a repeat."""
+        first = session.compile(mpc_source, domain="RBT")
+        second = session.compile(mpc_source, domain="RBT")
+        assert first.programs is second.programs
+        assert session.stage_executions("parse") == 1
+        assert session.stage_executions("srdfg-build") == 1
+        assert session.stage_executions(CACHE_HIT_STAGE) == 1
+        assert session.cache.stats.hits == 1
+        assert session.cache.stats.misses == 1
+
+    def test_different_domain_misses(self, session, mpc_source):
+        session.compile(mpc_source, domain="RBT")
+        session.compile(mpc_source, domain=None)
+        assert session.cache.stats.misses == 2
+        assert session.cache.stats.hits == 0
+
+    def test_pipeline_fingerprint_in_key(self, mpc_source):
+        plain = CompilerSession(default_accelerators())
+        unoptimized = CompilerSession(default_accelerators(), run_pipeline=False)
+        key = plain.cache_key(mpc_source, "main", "RBT", None,
+                              plain.accelerators, default_pipeline())
+        key_no_pipeline = unoptimized.cache_key(mpc_source, "main", "RBT", None,
+                                                unoptimized.accelerators, None)
+        assert key != key_no_pipeline
+
+    def test_accelerator_fingerprint_tracks_configuration(self):
+        import dataclasses
+
+        stock = Robox()
+        tuned = Robox()
+        tuned.params = dataclasses.replace(tuned.params, frequency_hz=2e9)
+        assert accelerator_fingerprint({"RBT": stock}) != accelerator_fingerprint(
+            {"RBT": tuned}
+        )
+        assert accelerator_fingerprint({"RBT": Robox()}) == accelerator_fingerprint(
+            {"RBT": Robox()}
+        )
+
+    def test_hints_do_not_change_the_key(self, session, mpc_source):
+        session.compile(mpc_source, domain="RBT", data_hints={"iterations": 10})
+        session.compile(mpc_source, domain="RBT", data_hints={"iterations": 99})
+        assert session.cache.stats.hits == 1
+
+    def test_disk_tier_survives_sessions(self, tmp_path, mpc_source):
+        cache_dir = str(tmp_path / "artifacts")
+        warm = CompilerSession(default_accelerators(), cache_dir=cache_dir)
+        warm.compile(mpc_source, domain="RBT")
+
+        cold = CompilerSession(default_accelerators(), cache_dir=cache_dir)
+        app = cold.compile(mpc_source, domain="RBT")
+        assert cold.stage_executions("parse") == 0
+        assert cold.cache.stats.disk_hits == 1
+        assert "RBT" in app.programs
+
+    def test_unpicklable_artifact_degrades_to_memory(self, tmp_path):
+        cache = ArtifactCache(cache_dir=str(tmp_path / "c"))
+        assert cache.put("key", lambda: None) is False
+        assert cache.stats.disk_errors == 1
+        assert cache.get("key") is not None  # memory tier still serves it
+
+    def test_fingerprint_is_stable_and_order_sensitive(self):
+        assert fingerprint("a", "b") == fingerprint("a", "b")
+        assert fingerprint("a", "b") != fingerprint("b", "a")
+
+
+class TestHintBinding:
+    def test_session_accelerators_never_mutated(self, session, mpc_source):
+        shared = session.accelerators["RBT"]
+        before = dict(shared.data_hints)
+        app = session.compile(mpc_source, domain="RBT", data_hints={"edges": 123})
+        assert shared.data_hints == before
+        assert app.accelerators["RBT"].data_hints["edges"] == 123
+        assert app.accelerators["RBT"] is not shared
+
+    def test_cached_artifact_rebinds_per_compile(self, session, mpc_source):
+        first = session.compile(mpc_source, domain="RBT", data_hints={"n": 1})
+        second = session.compile(mpc_source, domain="RBT", data_hints={"n": 2})
+        assert first.accelerators["RBT"].data_hints["n"] == 1
+        assert second.accelerators["RBT"].data_hints["n"] == 2
+        assert first.programs is second.programs
+
+    def test_no_hints_returns_artifact_unchanged(self, session, mpc_source):
+        first = session.compile(mpc_source, domain="RBT")
+        second = session.compile(mpc_source, domain="RBT")
+        assert first is second
+
+
+class TestDiagnostics:
+    def test_syntax_error_is_recorded_with_location(self, session):
+        with pytest.raises(PMLangSyntaxError):
+            session.compile("main( {", domain="RBT")
+        assert session.diagnostics.has_errors
+        [error] = session.diagnostics.errors
+        assert error.stage == "parse"
+        assert error.line is not None
+        [parse] = [r for r in session.records if r.stage == "parse"]
+        assert parse.detail == "failed"
+
+    def test_scalar_fallback_warns(self, session):
+        source = (
+            "main(input float x[8], output float y[8]) {"
+            " index i[0:7]; y[i] = x[i] * 2.0; }"
+        )
+        session.compile(source)
+        assert any(
+            "scalar" in w.message and w.stage == "lower"
+            for w in session.diagnostics.warnings
+        )
+
+    def test_engine_orders_and_counts(self):
+        diags = Diagnostics()
+        diags.note("first")
+        diags.warning("second", stage="lower")
+        diags.error("third", stage="parse", line=3, column=7)
+        assert len(diags) == 3
+        assert [d.severity for d in diags] == ["note", "warning", "error"]
+        assert diags.counts() == {"note": 1, "warning": 1, "error": 1}
+        rendered = diags.render()
+        assert "error [parse]: third at line 3, col 7" in rendered
+        with pytest.raises(ValueError):
+            diags.emit("fatal", "nope")
+
+    def test_diagnostic_render_without_location(self):
+        assert Diagnostic("note", "hello").render() == "note: hello"
+
+
+class TestStatsReport:
+    def test_report_covers_stages_cache_and_diagnostics(self, session, mpc_source):
+        session.compile(mpc_source, domain="RBT")
+        session.compile(mpc_source, domain="RBT")
+        report = session.stats_report()
+        assert "2 compile(s)" in report
+        for stage in STAGES + (CACHE_HIT_STAGE,):
+            assert stage in report
+        assert "optimize/constant-folding" in report
+        assert "1 hit(s) / 1 miss(es)" in report
+        assert "diagnostics:" in report
+        # Sub-stages print directly under their parent stage.
+        lines = report.splitlines()
+        optimize_at = next(i for i, line in enumerate(lines)
+                           if line.startswith("optimize "))
+        assert lines[optimize_at + 1].startswith("optimize/")
+
+
+class TestPolyMathFacade:
+    def test_compile_goes_through_the_session(self, mpc_source):
+        compiler = PolyMath(default_accelerators())
+        app = compiler.compile(mpc_source, domain="RBT")
+        assert "RBT" in app.programs
+        assert compiler.session.compiles == 1
+        compiler.compile(mpc_source, domain="RBT")
+        assert compiler.session.cache.stats.hits == 1
+        assert compiler.diagnostics is compiler.session.diagnostics
+
+    def test_facade_accepts_an_existing_session(self, mpc_source):
+        session = CompilerSession(default_accelerators())
+        compiler = PolyMath(default_accelerators(), session=session)
+        assert compiler.session is session
+
+    def test_no_accelerators_is_a_target_error(self, mpc_source):
+        with pytest.raises(TargetError):
+            CompilerSession().compile(mpc_source, domain="RBT")
+
+
+class TestAcceleratorBinding:
+    def test_bound_copies_do_not_share_hints(self):
+        accelerator = Tabla()
+        bound = accelerator.bound({"rows": 4})
+        assert bound is not accelerator
+        assert bound.data_hints == {"rows": 4}
+        assert "rows" not in accelerator.data_hints
+        bound.data_hints["cols"] = 8
+        assert "cols" not in accelerator.data_hints
+
+    def test_bound_preserves_base_hints(self):
+        accelerator = Tabla()
+        accelerator.data_hints["base"] = 1
+        bound = accelerator.bound({"extra": 2})
+        assert bound.data_hints == {"base": 1, "extra": 2}

@@ -4,7 +4,7 @@ import pytest
 
 from repro.eval import Harness, all_tables, geomean
 from repro.eval.figures import FigureData, figure13
-from repro.eval.optimal import estimate_expert, percent_of_optimal
+from repro.eval.optimal import percent_of_optimal
 from repro.workloads import END_TO_END, SINGLE_DOMAIN
 
 #: A cheap-but-representative subset: one workload per domain.

@@ -127,7 +127,6 @@ class TestRuntimeFailures:
 
     def test_graph_mutation_detected_by_validate(self, mpc_source):
         from repro.errors import GraphError
-        from repro.srdfg.graph import COMPUTE
 
         graph = build(mpc_source, domain="RBT")
         # Sabotage: create a genuine combinational cycle between two

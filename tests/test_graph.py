@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import GraphError
-from repro.srdfg.graph import COMPUTE, CONST, VAR, Node, SrDFG
+from repro.srdfg.graph import COMPUTE, VAR, Node, SrDFG
 from repro.srdfg.metadata import EdgeMeta, VarInfo
 
 

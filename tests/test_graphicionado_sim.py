@@ -62,7 +62,6 @@ class TestBfs:
             graph_data.adjacency, graph_data.source, streams=8
         )
         expected = reference.bfs_levels(graph_data.adjacency, graph_data.source)
-        finite = levels[np.isfinite(levels)]
         reached = expected < reference.UNREACHED
         assert np.allclose(levels[reached], expected[reached])
         assert np.all(np.isinf(levels[~reached]))

@@ -1,6 +1,5 @@
 """Unit tests for the hardware cost models and SoC runtime."""
 
-import numpy as np
 import pytest
 
 from repro.hw import (

@@ -1,6 +1,5 @@
 """Unit tests for operation classification and op counting."""
 
-import pytest
 
 from repro.pmlang.parser import parse
 from repro.srdfg.opclass import classify

@@ -63,7 +63,7 @@ class TestStatements:
         assert stmt.items[2].dims == ()
 
     def test_assignment_with_indices(self):
-        stmt = first_stmt("index i[0:3]; y[i] = x[i] + 1;", )
+        first_stmt("index i[0:3]; y[i] = x[i] + 1;")
         component = parse_component("index i[0:3]; y[i] = x[i] + 1;")
         assign = component.body[1]
         assert isinstance(assign, ast.Assign)

@@ -229,6 +229,40 @@ class TestPassManager:
         with pytest.raises(PassError):
             PassManager().add(object())
 
+    def test_reports_are_timed(self, mpc_source):
+        result = default_pipeline().run(build(mpc_source, domain="RBT"))
+        assert all(report.seconds >= 0.0 for report in result.reports)
+        assert result.seconds == sum(r.seconds for r in result.reports)
+        assert "ms" in result.summary()
+
+    def test_counts_include_nested_graphs(self, mpc_source):
+        graph = build(mpc_source, domain="RBT")
+        top_level = len(graph.nodes)
+        total_nodes, total_edges = graph.total_counts()
+        assert total_nodes > top_level  # the MPC program nests components
+
+        recursive = PassManager(recursive=True).run(graph)
+        assert recursive.reports == []  # no passes, but counting still works
+
+        result = default_pipeline().run(build(mpc_source, domain="RBT"))
+        assert result.reports[0].nodes_before == total_nodes
+
+    def test_flat_counting_opt_out(self, mpc_source):
+        from repro.passes import ConstantFolding
+
+        graph = build(mpc_source, domain="RBT")
+        flat = PassManager([ConstantFolding()], recursive=False).run(graph)
+        assert flat.reports[0].nodes_before == len(graph.nodes)
+
+    def test_hooks_observe_each_pass(self, mpc_source):
+        seen = []
+        pipeline = default_pipeline()
+        pipeline.add_hook(seen.append)
+        result = pipeline.run(build(mpc_source, domain="RBT"))
+        assert [r.name for r in seen] == [r.name for r in result.reports]
+        with pytest.raises(PassError):
+            pipeline.add_hook("nope")
+
     def test_default_pipeline_preserves_execution(
         self, mpc_source, mpc_data, mpc_reference_result
     ):

@@ -11,7 +11,6 @@ Four deep properties:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.pmlang import ast_nodes as ast

@@ -6,7 +6,6 @@ import pytest
 from repro.pmlang.parser import parse
 from repro.pmlang.render import (
     decompile_graph,
-    render_component,
     render_expr,
     render_program,
     render_stmt,
@@ -100,7 +99,7 @@ class TestProgramRoundTrip:
 
     def test_workload_sources_round_trip(self):
         # Every Table III source survives parse -> render -> parse.
-        from repro.workloads import SINGLE_DOMAIN, get_workload
+        from repro.workloads import get_workload
 
         for name in ("MobileRobot", "Twitter-BFS", "FFT-8192", "DCT-1024"):
             workload = get_workload(name)

@@ -4,11 +4,10 @@ profiling, precision modes)."""
 import numpy as np
 import pytest
 
-from repro.srdfg import Executor, build, expand_scalar
+from repro.srdfg import Executor, build
 from repro.targets import PolyMath, Vta, default_accelerators
 from repro.targets.deco_stages import map_stages, map_statement
 from repro.targets.vta_uops import (
-    TILE,
     generate_gemm_stream,
     listing,
     stream_for_fragment,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import TargetError
-from repro.srdfg import Executor, build
+from repro.srdfg import build
 from repro.targets import (
     AcceleratorSpec,
     Deco,
