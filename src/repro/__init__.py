@@ -34,9 +34,17 @@ from .errors import (
     PMLangSyntaxError,
     PassError,
     PolyMathError,
+    RuntimeFailure,
     ShapeError,
     TargetError,
     WorkloadError,
+)
+from .runtime import (
+    FaultPlan,
+    FaultSpec,
+    HostManager,
+    RecoveryPolicy,
+    RunReport,
 )
 from .eval import Harness, all_figures, all_tables, full_report
 from .hw import SoCRuntime, make_jetson, make_titan_xp, make_xeon
@@ -54,8 +62,11 @@ __all__ = [
     "Diagnostics",
     "ExecutionError",
     "Executor",
+    "FaultPlan",
+    "FaultSpec",
     "GraphError",
     "Harness",
+    "HostManager",
     "LoweringError",
     "PMLangSemanticError",
     "PMLangSyntaxError",
@@ -63,6 +74,9 @@ __all__ = [
     "PassManager",
     "PolyMath",
     "PolyMathError",
+    "RecoveryPolicy",
+    "RunReport",
+    "RuntimeFailure",
     "ShapeError",
     "SoCRuntime",
     "SrDFG",

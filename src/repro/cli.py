@@ -10,6 +10,7 @@ Usage (``python -m repro <command>``)::
     python -m repro tables                   # Tables I-VI
     python -m repro figures [fig7 ...]       # regenerate figures
     python -m repro report                   # everything
+    python -m repro chaos BrainStimul --inject crash@DA   # fault-tolerant runtime
 """
 
 from __future__ import annotations
@@ -179,6 +180,87 @@ def _cmd_report(args):
     return 0
 
 
+def _cmd_chaos(args):
+    """Run one workload under a fault plan through the HostManager."""
+    import numpy as np
+
+    from .errors import RuntimeFailure
+    from .eval import Harness
+    from .runtime import FaultPlan, HostManager, RecoveryPolicy
+
+    try:
+        plan = FaultPlan.parse(args.inject, seed=args.seed)
+    except ValueError as exc:
+        print(f"bad --inject spec: {exc}", file=sys.stderr)
+        return 2
+
+    harness = Harness()
+    workload, app, accelerators = harness.compiled(args.workload)
+    policy = RecoveryPolicy(
+        max_attempts=args.retries + 1,
+        host_fallback=not args.no_fallback,
+    )
+    manager = HostManager(accelerators, policy=policy)
+
+    def drive(fault_plan):
+        """One chaos run: *steps* invocations threading state, one plan."""
+        active = fault_plan.activate()
+        state = {
+            key: np.asarray(value)
+            for key, value in workload.initial_state().items()
+        }
+        previous = None
+        report = None
+        for step in range(args.steps):
+            report = manager.run(
+                app,
+                inputs=workload.inputs(step, previous),
+                params=workload.params(),
+                state=state,
+                fault_plan=active,
+                hints=workload.hints(),
+            )
+            previous = report.result
+            state = report.result.state
+        return report
+
+    try:
+        report = drive(plan)
+    except RuntimeFailure as exc:
+        print(exc.report.render(events=not args.quiet))
+        print(f"\nchaos: {exc}", file=sys.stderr)
+        return 1
+
+    print(report.render(events=not args.quiet))
+
+    status = 0
+    if args.compare:
+        baseline = drive(FaultPlan(seed=args.seed))
+        matches = sorted(report.result.outputs) == sorted(baseline.result.outputs)
+        if matches:
+            for name in report.result.outputs:
+                if not np.array_equal(
+                    report.result.outputs[name], baseline.result.outputs[name]
+                ):
+                    matches = False
+        verdict = "bit-for-bit identical" if matches else "MISMATCH"
+        print(f"\nfaulty vs fault-free outputs: {verdict}")
+        if not matches:
+            status = 1
+
+    if args.json:
+        import json
+
+        payload = json.dumps(report.to_dict(), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(payload)
+            print(f"wrote chaos report to {args.json}")
+    return status
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -252,6 +334,46 @@ def build_parser():
         "--validate", action="store_true", help="also run functional checks"
     )
     report.set_defaults(func=_cmd_report)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a workload under a fault-injection plan and report recovery",
+    )
+    chaos.add_argument(
+        "workload", nargs="?", default="BrainStimul", help="workload name"
+    )
+    chaos.add_argument(
+        "--inject",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="fault spec kind[@domain][:p=P][:at=I,J][:n=N]; kinds: stall, "
+        "crash, transient, dma-corrupt, dma-drop (repeatable)",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="fault-plan RNG seed")
+    chaos.add_argument(
+        "--steps", type=int, default=1, help="invocations to run (threading state)"
+    )
+    chaos.add_argument(
+        "--retries", type=int, default=3, help="retries per dispatch before escalation"
+    )
+    chaos.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="disable graceful degradation onto the host CPU",
+    )
+    chaos.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run fault-free and verify outputs match bit-for-bit",
+    )
+    chaos.add_argument(
+        "--quiet", action="store_true", help="omit the per-event trace"
+    )
+    chaos.add_argument(
+        "--json", metavar="PATH", help="dump the RunReport as JSON (- for stdout)"
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     return parser
 

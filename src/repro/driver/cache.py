@@ -8,8 +8,11 @@ configuration), so the session keys every compile on
      accelerator config fingerprint, pass-pipeline fingerprint)
 
 and serves repeats from memory — or, when a ``cache_dir`` is given, from a
-pickle-per-key on-disk tier that survives across processes. Disk writes
-degrade gracefully: an artifact that will not pickle stays memory-only.
+pickle-per-key on-disk tier that survives across processes. The disk tier
+degrades gracefully in both directions: an artifact that will not pickle
+(or a disk that will not accept it) stays memory-only, and a corrupt,
+truncated, or unreadable on-disk entry is treated as a miss — evicted and
+reported through the session's diagnostics — never raised out of ``get``.
 """
 
 from __future__ import annotations
@@ -81,6 +84,9 @@ class ArtifactCache:
 
     cache_dir: Optional[str] = None
     stats: CacheStats = field(default_factory=CacheStats)
+    #: Optional :class:`~repro.driver.diagnostics.Diagnostics` sink for
+    #: disk-tier degradation warnings (the session wires its own in).
+    diagnostics: Optional[object] = None
     _memory: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self):
@@ -91,19 +97,38 @@ class ArtifactCache:
     def _path(self, key):
         return self.cache_dir / f"{key}.pkl"
 
+    def _warn(self, message):
+        if self.diagnostics is not None:
+            self.diagnostics.warning(message, stage="cache")
+
     def get(self, key):
-        """Cached artifact for *key*, or None (counts a hit/miss)."""
+        """Cached artifact for *key*, or None (counts a hit/miss).
+
+        A corrupt/truncated/unreadable disk entry is a *miss*: the entry
+        is evicted (best effort) and reported, and the compile simply
+        re-runs. No disk-tier failure ever escapes this method.
+        """
         if key in self._memory:
             self.stats.hits += 1
             return self._memory[key]
         if self.cache_dir is not None:
-            path = self._path(key)
-            if path.exists():
+            try:
+                path = self._path(key)
+                exists = path.exists()
+            except OSError:
+                self.stats.disk_errors += 1
+                exists = False
+            if exists:
                 try:
                     with open(path, "rb") as handle:
                         artifact = pickle.load(handle)
-                except Exception:
+                except Exception as exc:
                     self.stats.disk_errors += 1
+                    self._evict_disk(key)
+                    self._warn(
+                        f"evicted corrupt disk cache entry {key[:12]}… "
+                        f"({type(exc).__name__}); treating as a miss"
+                    )
                 else:
                     self._memory[key] = artifact
                     self.stats.hits += 1
@@ -111,6 +136,12 @@ class ArtifactCache:
                     return artifact
         self.stats.misses += 1
         return None
+
+    def _evict_disk(self, key):
+        try:
+            self._path(key).unlink()
+        except OSError:
+            pass
 
     def put(self, key, artifact):
         self._memory[key] = artifact
@@ -123,7 +154,15 @@ class ArtifactCache:
                 # memory-resident; the session reports this as a warning.
                 self.stats.disk_errors += 1
                 return False
-            self._path(key).write_bytes(payload)
+            try:
+                self._path(key).write_bytes(payload)
+            except OSError as exc:
+                # A full/read-only disk degrades to the memory tier.
+                self.stats.disk_errors += 1
+                self._warn(
+                    f"disk cache write failed for {key[:12]}… "
+                    f"({type(exc).__name__}); entry is memory-only"
+                )
         return True
 
     def clear(self):

@@ -109,6 +109,11 @@ class CompilerSession:
         self.pipeline_factory: Callable = pipeline_factory or default_pipeline
         self.cache = cache or ArtifactCache(cache_dir=cache_dir)
         self.diagnostics = diagnostics or Diagnostics()
+        # Disk-tier degradation (corrupt entries, failed writes) surfaces
+        # in this session's diagnostics stream unless the caller wired the
+        # cache to its own sink already.
+        if self.cache.diagnostics is None:
+            self.cache.diagnostics = self.diagnostics
         self.records: List[StageRecord] = []
         self.compiles = 0
         self._stage_hooks: List[Callable] = []

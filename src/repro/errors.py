@@ -66,3 +66,16 @@ class TargetError(PolyMathError):
 
 class WorkloadError(PolyMathError):
     """A workload was misconfigured or asked for an unknown benchmark."""
+
+
+class RuntimeFailure(PolyMathError):
+    """The fault-tolerant runtime exhausted its recovery options.
+
+    Carries the partial :class:`~repro.runtime.report.RunReport` (as
+    ``report``) so callers can inspect the event stream leading up to the
+    abort.
+    """
+
+    def __init__(self, message, report=None):
+        super().__init__(message)
+        self.report = report

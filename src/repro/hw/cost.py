@@ -28,6 +28,18 @@ from ..pmlang.builtins import COST_ALU, COST_DIV, COST_MUL, COST_NONLINEAR
 
 #: DRAM access energy, picojoules per byte (LPDDR4-class figure).
 DRAM_PJ_PER_BYTE = 20.0
+
+
+def safe_div(numerator, denominator, default=0.0):
+    """``numerator / denominator``, or *default* for a zero/None denominator.
+
+    Cost models divide by bandwidths, rates, and measured totals that DSE
+    sweeps and chaos runs can legitimately drive to zero; every ratio in
+    ``repro.hw`` routes through this guard instead of crashing mid-report.
+    """
+    if denominator is None or denominator <= 0:
+        return default
+    return numerator / denominator
 #: On-chip SRAM access energy, picojoules per byte.
 SRAM_PJ_PER_BYTE = 1.0
 #: Scalar-op energy by class, picojoules per op (45nm-class figures).
@@ -110,14 +122,19 @@ class PerfStats:
 
     @property
     def watts(self):
-        return self.energy_j / self.seconds if self.seconds > 0 else 0.0
+        return safe_div(self.energy_j, self.seconds)
 
     @property
     def performance_per_watt(self):
         """Work rate per watt (ops/s/W); used for PPW comparisons."""
-        if self.energy_j <= 0:
-            return 0.0
-        return self.op_count / self.energy_j
+        return safe_div(self.op_count, self.energy_j)
+
+    def __repr__(self):
+        return (
+            f"PerfStats(seconds={self.seconds:.6g}, ops={self.op_count}, "
+            f"dram_bytes={self.dram_bytes}, onchip_bytes={self.onchip_bytes}, "
+            f"energy_j={self.energy_j:.6g}, kernels={self.kernels})"
+        )
 
 
 class RooflineModel:
@@ -144,7 +161,9 @@ class RooflineModel:
                 # steep penalty (e.g. transcendental on an integer ALU).
                 rate = (params.ops_per_second(COST_ALU) or 1.0) / 16.0
             compute_s = max(compute_s, count / rate)
-        memory_s = dram_bytes / params.dram_bw + onchip_bytes / params.onchip_bw
+        memory_s = safe_div(dram_bytes, params.dram_bw) + safe_div(
+            onchip_bytes, params.onchip_bw
+        )
         busy_s = max(compute_s, memory_s)
         seconds = busy_s + params.dispatch_overhead_s
 
@@ -157,7 +176,7 @@ class RooflineModel:
         ) * 1e-12
         static_energy = params.power_w * params.static_fraction * seconds
         # Dynamic board power scales with utilisation of the busy window.
-        utilisation = busy_s / seconds if seconds > 0 else 0.0
+        utilisation = safe_div(busy_s, seconds)
         dynamic_energy = (
             params.power_w * (1.0 - params.static_fraction) * seconds * utilisation
         )
@@ -180,7 +199,7 @@ class RooflineModel:
 
     def transfer_cost(self, nbytes, label="dma"):
         """PerfStats for a DMA transfer of *nbytes* over DRAM."""
-        seconds = nbytes / self.params.dram_bw + self.params.dispatch_overhead_s
+        seconds = safe_div(nbytes, self.params.dram_bw) + self.params.dispatch_overhead_s
         energy = (
             nbytes * DRAM_PJ_PER_BYTE * 1e-12
             + (self.params.power_w * self.params.static_fraction

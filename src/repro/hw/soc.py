@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from ..srdfg.graph import COMPUTE
-from .cost import DRAM_PJ_PER_BYTE, PerfStats
+from .cost import DRAM_PJ_PER_BYTE, PerfStats, safe_div
 from .cpu import make_xeon
 
 #: Host-manager cost of initiating one DMA transfer.
@@ -42,9 +42,7 @@ class SoCRunReport:
 
     @property
     def communication_fraction(self):
-        if self.total.seconds <= 0:
-            return 0.0
-        return self.communication.seconds / self.total.seconds
+        return safe_div(self.communication.seconds, self.total.seconds)
 
     @property
     def pipelined_seconds(self):
@@ -63,9 +61,19 @@ class SoCRunReport:
     @property
     def pipeline_speedup(self):
         """Throughput gain of pipelining over sequential execution."""
-        if self.pipelined_seconds <= 0:
-            return 1.0
-        return self.total.seconds / self.pipelined_seconds
+        return safe_div(self.total.seconds, self.pipelined_seconds, default=1.0)
+
+    def __repr__(self):
+        domains = ", ".join(
+            f"{domain}={stats.seconds:.3g}s"
+            for domain, stats in self.per_domain.items()
+        )
+        return (
+            f"SoCRunReport(total={self.total.seconds:.6g}s, "
+            f"comm={self.communication_fraction:.1%}"
+            + (f", {domains}" if domains else "")
+            + ")"
+        )
 
 
 class SoCRuntime:
@@ -102,7 +110,7 @@ class SoCRuntime:
                         # A logical transfer appears as a store (producer
                         # side) plus a load (consumer side); the host
                         # dispatch is paid once, on the load.
-                        dma = self._dma_cost(
+                        dma = self.dma_cost(
                             fragment.attrs.get("nbytes", 0),
                             dispatch=fragment.op == "load",
                         )
@@ -111,7 +119,7 @@ class SoCRuntime:
                     else:
                         stats.add(accelerator.fragment_cost(fragment))
             else:
-                stats = self._host_domain_cost(graph, domain, hints)
+                stats = self.host_domain_cost(graph, domain, hints)
                 # The host still pays boundary transfers into/out of the
                 # *accelerated* portion of the pipeline; host-to-host
                 # hand-offs are plain memory and charge nothing extra.
@@ -122,7 +130,7 @@ class SoCRuntime:
                         "to_domain"
                     )
                     if other in accelerated_domains:
-                        dma = self._dma_cost(
+                        dma = self.dma_cost(
                             fragment.attrs.get("nbytes", 0),
                             dispatch=fragment.op == "load",
                         )
@@ -135,8 +143,11 @@ class SoCRuntime:
             total=total, per_domain=per_domain, communication=communication
         )
 
-    def _dma_cost(self, nbytes, dispatch=True):
-        seconds = (HOST_DMA_DISPATCH_S if dispatch else 0.0) + nbytes / SOC_DMA_BW
+    def dma_cost(self, nbytes, dispatch=True):
+        """PerfStats for one host-initiated DMA transfer of *nbytes*."""
+        seconds = (HOST_DMA_DISPATCH_S if dispatch else 0.0) + safe_div(
+            nbytes, SOC_DMA_BW
+        )
         energy = nbytes * DRAM_PJ_PER_BYTE * 1e-12
         energy += 2.0 * seconds  # host manager ~2 W while orchestrating
         return PerfStats(
@@ -146,8 +157,9 @@ class SoCRuntime:
             breakdown={"dma": seconds},
         )
 
-    def _host_domain_cost(self, graph, domain, hints):
+    def host_domain_cost(self, graph, domain, hints=None):
         """Cost of running one domain's kernels on the host CPU."""
+        hints = hints or {}
         stats = PerfStats()
         for node in graph.nodes:
             if node.kind != COMPUTE:

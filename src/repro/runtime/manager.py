@@ -1,0 +1,604 @@
+"""The fault-tolerant host manager (§V-A3, made executable).
+
+Where :class:`~repro.hw.soc.SoCRuntime` *prices* one SoC invocation as a
+closed formula, :class:`HostManager` *executes* it as a sequence of
+discrete dispatch events — per-domain program stages in dataflow order,
+with host-initiated DMA steps at every domain crossing — while a seeded
+:class:`~repro.runtime.faults.FaultPlan` injects stalls, crashes,
+transient compute errors, and corrupted or dropped transfers, and a
+:class:`~repro.runtime.policy.RecoveryPolicy` recovers from them:
+
+* every dispatch runs under a **watchdog** budget; a stall or a dropped
+  DMA burns the budget and is retried;
+* failures are retried with bounded **exponential backoff**;
+* inter-domain buffers are **checkpointed** in host DRAM as they are
+  stored, so a retry (or a host fallback) replays only the failed stage,
+  never its upstream producers;
+* a domain whose accelerator **crashes** (or exhausts its retries) is
+  **degraded** onto the host CPU model — the partial-acceleration path
+  the analytic SoC runtime already prices — and the run keeps going.
+
+Timing and energy reuse ``SoCRuntime``'s cost accounting exactly
+(``dma_cost``/``host_domain_cost``/``Accelerator.fragment_cost``), so a
+fault-free chaos run totals what ``SoCRuntime.execute`` prices. The
+functional plane is shared with every other backend: outputs come from
+the same srDFG interpreter regardless of where a stage ultimately ran,
+which is why a degraded run's outputs are bit-for-bit identical to the
+fault-free run — faults perturb *when and where* work happens (and its
+cost), never *what* is computed, because corrupt transfers are detected
+by checksum and never published to a consumer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..driver.diagnostics import Diagnostics
+from ..errors import RuntimeFailure
+from ..hw.cost import PerfStats
+from ..hw.soc import HOST_DMA_DISPATCH_S, SoCRuntime
+from .faults import CRASH, DMA_CORRUPT, FaultPlan, Site, TIMEOUT_FAULTS, TRANSIENT
+from .policy import RecoveryPolicy
+from .report import (
+    ABORT,
+    BACKOFF,
+    CHECKPOINT,
+    COMPLETE,
+    DISPATCH,
+    DMA,
+    FALLBACK,
+    FAULT,
+    REPLAY,
+    RETRY,
+    RunReport,
+    RuntimeEvent,
+    WATCHDOG,
+)
+
+#: Host-manager power draw while waiting/orchestrating (matches soc.py).
+HOST_MANAGER_W = 2.0
+
+
+@dataclass
+class _Unit:
+    """One dispatchable unit: a compute burst or a single DMA transfer."""
+
+    kind: str  # "compute" | "dma"
+    label: str
+    fragments: tuple = ()
+    direction: str = ""  # dma only: "load" | "store"
+    peer: Optional[str] = None
+    buffer: str = ""
+    nbytes: int = 0
+
+
+@dataclass
+class _Stage:
+    """One domain's program as an ordered unit list + its upstream deps."""
+
+    domain: str
+    units: List[_Unit] = field(default_factory=list)
+    deps: set = field(default_factory=set)
+
+
+class HostManager:
+    """Drives a :class:`CompiledApplication` as a recoverable process."""
+
+    def __init__(self, accelerators, host=None, policy=None, diagnostics=None):
+        self.soc = SoCRuntime(accelerators, host=host)
+        self.accelerators = self.soc.accelerators
+        self.policy = policy or RecoveryPolicy()
+        self.diagnostics = diagnostics or Diagnostics()
+
+    # -- dispatch plan -----------------------------------------------------
+
+    def _stage_plan(self, compiled):
+        """Ordered stages with data dependencies, from the compiled programs.
+
+        Dependencies come from the crossing load fragments' ``from_domain``
+        attrs; stage order is a topological sort of that DAG with the
+        compiler's (dataflow) insertion order breaking ties.
+        """
+        stages: Dict[str, _Stage] = {}
+        for domain, program in compiled.programs.items():
+            stage = _Stage(domain=domain)
+            burst: List = []
+            burst_index = 0
+
+            def flush(stage=stage):
+                nonlocal burst, burst_index
+                if burst:
+                    stage.units.append(
+                        _Unit(
+                            kind="compute",
+                            label=f"{stage.domain}.k{burst_index}",
+                            fragments=tuple(burst),
+                        )
+                    )
+                    burst = []
+                    burst_index += 1
+
+            for fragment in program.fragments:
+                if fragment.attrs.get("crossing"):
+                    flush()
+                    direction = fragment.op
+                    peer = fragment.attrs.get("from_domain") or fragment.attrs.get(
+                        "to_domain"
+                    )
+                    names = fragment.inputs if direction == "load" else fragment.outputs
+                    buffer = names[0][0] if names else ""
+                    stage.units.append(
+                        _Unit(
+                            kind="dma",
+                            label=f"{domain}.{direction}[{buffer}]",
+                            direction=direction,
+                            peer=peer,
+                            buffer=buffer,
+                            nbytes=fragment.attrs.get("nbytes", 0),
+                        )
+                    )
+                    if direction == "load" and peer is not None:
+                        stage.deps.add(peer)
+                else:
+                    burst.append(fragment)
+            flush()
+            stages[domain] = stage
+
+        # Kahn's algorithm; ready stages dispatch in compiler order.
+        order: List[_Stage] = []
+        done: set = set()
+        pending = list(stages)
+        while pending:
+            progressed = False
+            for domain in list(pending):
+                if stages[domain].deps - done:
+                    continue
+                order.append(stages[domain])
+                done.add(domain)
+                pending.remove(domain)
+                progressed = True
+            if not progressed:
+                # Cyclic cross-domain traffic (ping-pong pipelines):
+                # fall back to compiler order for the remainder.
+                order.extend(stages[domain] for domain in pending)
+                break
+        return order
+
+    # -- cost helpers ------------------------------------------------------
+
+    def _compute_cost(self, soc, compiled, stage, unit, placement, hints):
+        if placement == "host":
+            return soc.host_domain_cost(compiled.graph, stage.domain, hints)
+        accelerator = soc.accelerators[stage.domain]
+        stats = PerfStats()
+        for fragment in unit.fragments:
+            stats.add(accelerator.fragment_cost(fragment))
+        return stats
+
+    def _dma_unit_cost(self, soc, unit):
+        return soc.dma_cost(unit.nbytes, dispatch=unit.direction == "load")
+
+    def _wasted_cost(self, soc, stage, seconds, placement):
+        """Watchdog/backoff time: the device idles, the host spins."""
+        watts = HOST_MANAGER_W
+        if placement == "accel":
+            params = soc.accelerators[stage.domain].params
+            watts += params.power_w * params.static_fraction + params.system_power_w
+        return PerfStats(seconds=seconds, energy_j=watts * seconds)
+
+    # -- the runtime loop --------------------------------------------------
+
+    def run(
+        self,
+        compiled,
+        inputs=None,
+        params=None,
+        state=None,
+        fault_plan=None,
+        hints=None,
+        accelerated_domains=None,
+        execute=True,
+        raise_on_failure=True,
+    ):
+        """Execute *compiled* under faults; returns :class:`RunReport`.
+
+        *fault_plan* may be a :class:`FaultPlan` (activated fresh, so the
+        run is reproducible) or an already-active plan (to thread one
+        fault schedule across several invocations). With ``execute=False``
+        only the timing/event plane runs (no interpreter execution).
+        Raises :class:`~repro.errors.RuntimeFailure` (carrying the partial
+        report) when recovery is exhausted, unless *raise_on_failure* is
+        False — then the report comes back with ``completed=False``.
+        """
+        hints = dict(hints or {})
+        if accelerated_domains is None:
+            accelerated_domains = set(compiled.programs) & set(self.accelerators)
+        accelerated_domains = set(accelerated_domains)
+        plan = fault_plan or FaultPlan()
+        active = plan if hasattr(plan, "draw") else plan.activate()
+
+        # Per-run cost accounting binds to the compiled application's
+        # (hint-bound) accelerator copies, exactly like SoCRuntime would.
+        soc = SoCRuntime(compiled.accelerators, host=self.soc.host)
+        report = RunReport(fault_plan=active.plan.render())
+        report.fault_free = soc.execute(
+            compiled, accelerated_domains=accelerated_domains, hints=hints
+        ).total
+
+        placement = {
+            domain: "accel" if domain in accelerated_domains else "host"
+            for domain in compiled.programs
+        }
+        run_state = _RunState(report=report, active=active, soc=soc)
+        stages = self._stage_plan(compiled)
+
+        ok = True
+        for stage in stages:
+            missing = stage.deps - run_state.completed_stages
+            if missing:
+                # Data-dependency tracking: a consumer can only dispatch
+                # once every upstream checkpoint is in host DRAM.
+                self._abort(
+                    run_state,
+                    stage,
+                    f"dependency violation: {sorted(missing)} not checkpointed",
+                )
+                ok = False
+                break
+            if not self._run_stage(compiled, stage, placement, hints, run_state):
+                ok = False
+                break
+            run_state.completed_stages.add(stage.domain)
+
+        report.completed = ok
+        if ok:
+            report.faults_recovered = report.faults_injected
+            self._emit(run_state, COMPLETE, domain=None, detail="all stages done")
+            if execute:
+                from ..srdfg.interpreter import Executor
+
+                report.result = Executor(compiled.graph).run(
+                    inputs=inputs, params=params, state=state
+                )
+        if not ok and raise_on_failure:
+            raise RuntimeFailure(
+                f"runtime recovery exhausted: {report.abort_reason}", report=report
+            )
+        return report
+
+    # -- stages ------------------------------------------------------------
+
+    def _run_stage(self, compiled, stage, placement, hints, run_state):
+        report = run_state.report
+        while True:
+            where = placement[stage.domain]
+            ok = True
+            for unit in self._effective_units(stage, placement):
+                status = self._run_unit(compiled, stage, unit, placement, hints, run_state)
+                if status == "ok":
+                    continue
+                ok = False
+                if status == "degrade":
+                    break
+                return False  # abort
+            if ok:
+                return True
+            # Graceful degradation: replay this stage (and only this
+            # stage) on the host, consuming upstream checkpoints.
+            if where == "host":
+                self._abort(run_state, stage, "host replay failed")
+                return False
+            placement[stage.domain] = "host"
+            if stage.domain not in report.degraded_domains:
+                report.degraded_domains.append(stage.domain)
+            run_state.checkpoints.drop_from(stage.domain)
+            report.retries += 1
+            self._emit(
+                run_state,
+                FALLBACK,
+                domain=stage.domain,
+                detail="remapped onto host CPU model",
+            )
+            self._emit(
+                run_state,
+                REPLAY,
+                domain=stage.domain,
+                detail="replaying stage from inter-domain checkpoints",
+            )
+            self.diagnostics.warning(
+                f"domain {stage.domain} degraded to host after accelerator failure",
+                stage="runtime",
+            )
+
+    def _effective_units(self, stage, placement):
+        """Stage units under the current placement.
+
+        On the host, the domain's compute bursts collapse into one
+        host-priced unit, and DMA to/from another host-resident domain
+        becomes a plain memory hand-off (soc.py charges those nothing).
+        """
+        if placement[stage.domain] == "accel":
+            return list(stage.units)
+        units: List[_Unit] = []
+        host_compute_done = False
+        for unit in stage.units:
+            if unit.kind == "compute":
+                if not host_compute_done:
+                    units.append(
+                        _Unit(kind="compute", label=f"{stage.domain}.host")
+                    )
+                    host_compute_done = True
+                continue
+            if unit.peer is not None and placement.get(unit.peer, "host") == "host":
+                units.append(
+                    _Unit(
+                        kind="handoff",
+                        label=unit.label,
+                        direction=unit.direction,
+                        peer=unit.peer,
+                        buffer=unit.buffer,
+                        nbytes=unit.nbytes,
+                    )
+                )
+                continue
+            units.append(unit)
+        return units
+
+    # -- units -------------------------------------------------------------
+
+    def _run_unit(self, compiled, stage, unit, placement, hints, run_state):
+        report = run_state.report
+        policy = self.policy
+        where = placement[stage.domain]
+
+        if unit.kind == "handoff":
+            # Host-to-host crossing: plain memory, nothing can fault.
+            run_state.checkpoints.publish(unit.buffer, stage.domain, unit.nbytes)
+            self._emit(
+                run_state,
+                DMA,
+                domain=stage.domain,
+                unit=unit.label,
+                detail="host-local hand-off (no DMA)",
+            )
+            return "ok"
+
+        if unit.kind == "dma":
+            expected = self._dma_unit_cost(run_state.soc, unit)
+            site_unit = "dma"
+        else:
+            expected = self._compute_cost(
+                run_state.soc, compiled, stage, unit, where, hints
+            )
+            site_unit = "dispatch"
+        budget = policy.watchdog_budget_s(expected.seconds)
+
+        if unit.kind == "dma" and unit.direction == "load":
+            source = run_state.checkpoints.source_of(unit.buffer, unit.peer)
+            self._emit(
+                run_state,
+                CHECKPOINT,
+                domain=stage.domain,
+                unit=unit.label,
+                detail=f"consuming checkpoint {unit.buffer!r} from {source}",
+            )
+
+        failures = 0
+        for attempt in range(1, policy.max_attempts + 1):
+            report.attempts[stage.domain] = report.attempts.get(stage.domain, 0) + 1
+            if attempt > 1:
+                report.retries += 1
+                self._emit(
+                    run_state,
+                    RETRY,
+                    domain=stage.domain,
+                    unit=unit.label,
+                    attempt=attempt,
+                )
+            site = Site(
+                unit=site_unit,
+                domain=stage.domain,
+                peer=unit.peer,
+                label=unit.label,
+                placement=where,
+            )
+            fault = run_state.active.draw(site)
+            self._emit(
+                run_state,
+                DMA if unit.kind == "dma" else DISPATCH,
+                domain=stage.domain,
+                unit=unit.label,
+                attempt=attempt,
+                detail=f"expected {expected.seconds * 1e6:.3f} us"
+                + (" (host)" if where == "host" else ""),
+            )
+
+            if fault is None:
+                self._charge(run_state, stage, expected, unit)
+                report.useful_seconds += expected.seconds
+                if unit.kind == "dma" and unit.direction == "store":
+                    run_state.checkpoints.publish(
+                        unit.buffer, stage.domain, unit.nbytes
+                    )
+                    self._emit(
+                        run_state,
+                        CHECKPOINT,
+                        domain=stage.domain,
+                        unit=unit.label,
+                        detail=f"checkpointed {unit.buffer!r} "
+                        f"({unit.nbytes} B) in host DRAM",
+                    )
+                return "ok"
+
+            # -- a fault struck this attempt ------------------------------
+            failures += 1
+            report.faults_injected += 1
+            self._emit(
+                run_state,
+                FAULT,
+                domain=stage.domain,
+                unit=unit.label,
+                attempt=attempt,
+                fault=fault.kind,
+                detail=f"injected at {site.render()}",
+            )
+            self.diagnostics.warning(
+                f"injected {fault.kind} at {site.render()} (attempt {attempt})",
+                stage="runtime",
+            )
+
+            if fault.kind in TIMEOUT_FAULTS:
+                # No completion signal: the watchdog burns its budget.
+                self._charge(
+                    run_state,
+                    stage,
+                    self._wasted_cost(run_state.soc, stage, budget, where),
+                    unit,
+                )
+                self._emit(
+                    run_state,
+                    WATCHDOG,
+                    domain=stage.domain,
+                    unit=unit.label,
+                    attempt=attempt,
+                    fault=fault.kind,
+                    detail=f"no completion within {budget * 1e6:.3f} us budget",
+                )
+            else:
+                # The work ran (and is paid for) but produced a bad
+                # result: transient compute error, or a DMA checksum
+                # mismatch — detected, so the buffer is never published.
+                self._charge(run_state, stage, expected, unit)
+                detected = (
+                    "checksum mismatch on transfer"
+                    if fault.kind == DMA_CORRUPT
+                    else "result failed validation"
+                )
+                self._emit(
+                    run_state,
+                    FAULT,
+                    domain=stage.domain,
+                    unit=unit.label,
+                    attempt=attempt,
+                    fault=fault.kind,
+                    detail=f"{detected}; discarding attempt",
+                )
+
+            if fault.kind == CRASH:
+                report.unhealthy[stage.domain] = (
+                    f"crashed during {unit.label} (attempt {attempt})"
+                )
+                self.diagnostics.error(
+                    f"accelerator for {stage.domain} marked unhealthy: crash",
+                    stage="runtime",
+                )
+                if self.policy.host_fallback:
+                    return "degrade"
+                self._abort(
+                    run_state,
+                    stage,
+                    f"accelerator for {stage.domain} crashed and host "
+                    "fallback is disabled",
+                )
+                return "abort"
+
+            if attempt < policy.max_attempts:
+                delay = policy.backoff_s(failures)
+                self._charge(
+                    run_state,
+                    stage,
+                    self._wasted_cost(run_state.soc, stage, delay, "host"),
+                    unit,
+                )
+                self._emit(
+                    run_state,
+                    BACKOFF,
+                    domain=stage.domain,
+                    unit=unit.label,
+                    attempt=attempt,
+                    detail=f"waiting {delay * 1e6:.3f} us before retry",
+                )
+
+        # Retries exhausted.
+        if unit.kind == "compute" and where == "accel" and policy.host_fallback:
+            report.unhealthy.setdefault(
+                stage.domain, f"{policy.max_attempts} consecutive failed dispatches"
+            )
+            return "degrade"
+        self._abort(
+            run_state,
+            stage,
+            f"{unit.label} failed {policy.max_attempts} attempt(s)",
+        )
+        return "abort"
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _charge(self, run_state, stage, stats, unit):
+        report = run_state.report
+        report.total.add(stats)
+        domain_stats = report.per_domain.setdefault(stage.domain, PerfStats())
+        domain_stats.add(stats)
+        if unit.kind == "dma":
+            report.communication.add(stats)
+        run_state.clock += stats.seconds
+
+    def _emit(self, run_state, kind, domain, unit="", attempt=None, fault=None,
+              detail=""):
+        event = RuntimeEvent(
+            seq=len(run_state.report.events),
+            t_s=run_state.clock,
+            kind=kind,
+            domain=domain,
+            unit=unit,
+            attempt=attempt,
+            fault=fault,
+            detail=detail,
+        )
+        run_state.report.events.append(event)
+        return event
+
+    def _abort(self, run_state, stage, reason):
+        report = run_state.report
+        report.abort_reason = reason
+        report.faults_recovered = max(0, report.faults_injected - 1)
+        self._emit(run_state, ABORT, domain=stage.domain, detail=reason)
+        self.diagnostics.error(f"runtime aborted: {reason}", stage="runtime")
+
+
+@dataclass
+class _CheckpointStore:
+    """Inter-domain buffers checkpointed in host DRAM."""
+
+    buffers: Dict[str, tuple] = field(default_factory=dict)
+
+    def publish(self, name, domain, nbytes):
+        self.buffers[name] = (domain, nbytes)
+
+    def drop_from(self, domain):
+        """Invalidate buffers a replaying stage had already published."""
+        self.buffers = {
+            name: entry
+            for name, entry in self.buffers.items()
+            if entry[0] != domain
+        }
+
+    def source_of(self, name, default=None):
+        entry = self.buffers.get(name)
+        return entry[0] if entry else default
+
+
+@dataclass
+class _RunState:
+    """Mutable state threaded through one HostManager.run."""
+
+    report: RunReport
+    active: object
+    soc: object = None
+    clock: float = 0.0
+    completed_stages: set = field(default_factory=set)
+    checkpoints: _CheckpointStore = field(default_factory=_CheckpointStore)
+
+
+__all__ = ["HostManager", "HOST_MANAGER_W", "HOST_DMA_DISPATCH_S"]

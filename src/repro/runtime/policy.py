@@ -1,0 +1,47 @@
+"""Recovery policy knobs for the fault-tolerant host manager.
+
+The policy is deliberately small and fully deterministic: bounded retry
+with exponential backoff (no jitter — reproducibility is a feature here,
+the fleet-level argument for jitter does not apply to a simulated SoC),
+a per-dispatch watchdog budget proportional to the expected cost, and a
+switch for graceful degradation onto the host CPU model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the host manager reacts to faults."""
+
+    #: Total attempts per unit (first try + retries) before escalation.
+    max_attempts: int = 4
+    #: Backoff before retry ``k`` is ``base * factor**(k-1)``, capped.
+    backoff_base_s: float = 100e-6
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 10e-3
+    #: Watchdog budget per dispatch: ``max(min_s, factor * expected_s)``.
+    #: A stalled/dropped unit burns the whole budget before the manager
+    #: declares it dead and retries.
+    watchdog_factor: float = 8.0
+    watchdog_min_s: float = 1e-3
+    #: Remap a domain whose accelerator is unhealthy (crash, or retry
+    #: exhaustion) onto the host CPU model instead of aborting the run.
+    host_fallback: bool = True
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def backoff_s(self, failures):
+        """Seconds to wait before the retry following failure *failures* (1-based)."""
+        delay = self.backoff_base_s * self.backoff_factor ** max(0, failures - 1)
+        return min(self.backoff_cap_s, delay)
+
+    def watchdog_budget_s(self, expected_s):
+        """Per-dispatch completion deadline for a unit expected to take *expected_s*."""
+        return max(self.watchdog_min_s, expected_s * self.watchdog_factor)

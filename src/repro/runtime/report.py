@@ -1,0 +1,215 @@
+"""Structured run reports for the fault-tolerant host manager.
+
+Every dispatch attempt, fault, retry, backoff, watchdog expiry, fallback,
+and checkpoint action is recorded as one :class:`RuntimeEvent` carrying
+the *simulated* timestamp (cost-model seconds, so event streams are
+bit-reproducible under a fixed fault plan + seed). A :class:`RunReport`
+aggregates the event stream into the operational numbers an SRE would ask
+for: attempts, recovered faults, degraded domains, availability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..hw.cost import PerfStats, safe_div
+
+#: Event kinds, in rough lifecycle order.
+DISPATCH = "dispatch"
+DMA = "dma"
+FAULT = "fault"
+WATCHDOG = "watchdog-timeout"
+BACKOFF = "backoff"
+RETRY = "retry"
+CHECKPOINT = "checkpoint"
+FALLBACK = "host-fallback"
+REPLAY = "stage-replay"
+COMPLETE = "complete"
+ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class RuntimeEvent:
+    """One timestamped runtime occurrence."""
+
+    seq: int
+    t_s: float  # simulated time when the event was emitted
+    kind: str
+    domain: Optional[str] = None
+    unit: str = ""
+    attempt: Optional[int] = None
+    fault: Optional[str] = None
+    detail: str = ""
+
+    def render(self):
+        cells = [f"[{self.t_s * 1e6:12.3f} us]", f"{self.kind:16s}"]
+        if self.domain:
+            cells.append(f"{self.domain:8s}")
+        if self.unit:
+            cells.append(self.unit)
+        if self.attempt is not None:
+            cells.append(f"attempt {self.attempt}")
+        if self.fault:
+            cells.append(f"fault={self.fault}")
+        if self.detail:
+            cells.append(self.detail)
+        return "  ".join(cells)
+
+    def signature(self):
+        """Deterministic comparison key (timestamps are simulated, so
+        two runs under the same plan + seed match exactly)."""
+        return (
+            self.seq,
+            self.kind,
+            self.domain,
+            self.unit,
+            self.attempt,
+            self.fault,
+            round(self.t_s, 15),
+        )
+
+    def to_dict(self):
+        return {
+            "seq": self.seq,
+            "t_s": self.t_s,
+            "kind": self.kind,
+            "domain": self.domain,
+            "unit": self.unit,
+            "attempt": self.attempt,
+            "fault": self.fault,
+            "detail": self.detail,
+        }
+
+
+def _stats_dict(stats):
+    return {
+        "seconds": stats.seconds,
+        "energy_j": stats.energy_j,
+        "dram_bytes": stats.dram_bytes,
+        "kernels": stats.kernels,
+    }
+
+
+@dataclass
+class RunReport:
+    """Everything one fault-tolerant execution produced."""
+
+    #: Whether the run reached the end of the dispatch plan.
+    completed: bool = False
+    #: Human-readable reason when ``completed`` is False.
+    abort_reason: str = ""
+    #: Functional outputs (ExecutionResult) — None when the run aborted
+    #: or was timing-only (``execute=False``).
+    result: object = None
+    #: Total accounting including retries, backoff, and watchdog waste.
+    total: PerfStats = field(default_factory=PerfStats)
+    per_domain: Dict[str, PerfStats] = field(default_factory=dict)
+    communication: PerfStats = field(default_factory=PerfStats)
+    #: The same run with no faults (analytic SoC cost), for overhead.
+    fault_free: PerfStats = field(default_factory=PerfStats)
+    #: Seconds spent on attempts that ultimately succeeded.
+    useful_seconds: float = 0.0
+    events: List[RuntimeEvent] = field(default_factory=list)
+    attempts: Dict[str, int] = field(default_factory=dict)
+    faults_injected: int = 0
+    faults_recovered: int = 0
+    retries: int = 0
+    degraded_domains: List[str] = field(default_factory=list)
+    unhealthy: Dict[str, str] = field(default_factory=dict)
+    fault_plan: str = "no faults"
+
+    # -- derived metrics ---------------------------------------------------
+
+    @property
+    def availability(self):
+        """Fraction of run time spent doing useful (non-wasted) work."""
+        if self.total.seconds <= 0:
+            return 1.0
+        return min(1.0, self.useful_seconds / self.total.seconds)
+
+    @property
+    def overhead(self):
+        """Slowdown vs the fault-free run (1.0 == no overhead)."""
+        return safe_div(self.total.seconds, self.fault_free.seconds, default=1.0)
+
+    @property
+    def total_attempts(self):
+        return sum(self.attempts.values())
+
+    def events_of(self, kind):
+        return [event for event in self.events if event.kind == kind]
+
+    def event_signature(self):
+        """Tuple signature of the full event stream (determinism checks)."""
+        return tuple(event.signature() for event in self.events)
+
+    # -- rendering ---------------------------------------------------------
+
+    def to_dict(self, include_events=True):
+        payload = {
+            "completed": self.completed,
+            "abort_reason": self.abort_reason,
+            "fault_plan": self.fault_plan,
+            "total": _stats_dict(self.total),
+            "per_domain": {
+                domain: _stats_dict(stats)
+                for domain, stats in self.per_domain.items()
+            },
+            "communication": _stats_dict(self.communication),
+            "fault_free": _stats_dict(self.fault_free),
+            "availability": self.availability,
+            "overhead": self.overhead,
+            "attempts": dict(self.attempts),
+            "faults_injected": self.faults_injected,
+            "faults_recovered": self.faults_recovered,
+            "retries": self.retries,
+            "degraded_domains": list(self.degraded_domains),
+            "unhealthy": dict(self.unhealthy),
+        }
+        if include_events:
+            payload["events"] = [event.to_dict() for event in self.events]
+        return payload
+
+    def render(self, events=True):
+        status = "completed" if self.completed else f"ABORTED ({self.abort_reason})"
+        lines = [
+            f"chaos run {status} under plan: {self.fault_plan}",
+            f"  time {self.total.seconds * 1e6:.3f} us "
+            f"(fault-free {self.fault_free.seconds * 1e6:.3f} us, "
+            f"overhead {self.overhead:.2f}x), "
+            f"energy {self.total.energy_j * 1e3:.3f} mJ",
+            f"  availability {self.availability:.1%}  "
+            f"attempts {self.total_attempts}  retries {self.retries}  "
+            f"faults {self.faults_injected} injected / "
+            f"{self.faults_recovered} recovered",
+        ]
+        if self.degraded_domains:
+            lines.append(
+                "  degraded to host: " + ", ".join(self.degraded_domains)
+            )
+        for domain, reason in self.unhealthy.items():
+            lines.append(f"  unhealthy accelerator: {domain} ({reason})")
+        for domain, stats in self.per_domain.items():
+            lines.append(
+                f"  {domain:8s} {stats.seconds * 1e6:12.3f} us  "
+                f"attempts {self.attempts.get(domain, 0)}"
+            )
+        if self.communication.seconds > 0:
+            lines.append(
+                f"  {'dma':8s} {self.communication.seconds * 1e6:12.3f} us"
+            )
+        if events and self.events:
+            lines.append("  events:")
+            for event in self.events:
+                lines.append("    " + event.render())
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"RunReport(completed={self.completed}, "
+            f"seconds={self.total.seconds:.6g}, "
+            f"faults={self.faults_injected}, retries={self.retries}, "
+            f"degraded={self.degraded_domains}, "
+            f"availability={self.availability:.3f})"
+        )

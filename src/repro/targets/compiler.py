@@ -153,14 +153,47 @@ class CompiledApplication:
         }
         return dataclasses.replace(self, accelerators=bound)
 
-    def run(self, inputs=None, params=None, state=None):
+    def run(
+        self,
+        inputs=None,
+        params=None,
+        state=None,
+        runtime=None,
+        policy=None,
+        fault_plan=None,
+        hints=None,
+        accelerated_domains=None,
+    ):
         """Execute functionally; returns (ExecutionResult, PerfStats).
 
         Performance composes sequentially across fragments, charging each
         domain's fragments to its own accelerator and cross-domain
         load/store fragments to the DMA model (§V-A3's host-managed DMA).
+
+        Passing any of *runtime* (a :class:`~repro.runtime.HostManager`),
+        *policy* (a :class:`~repro.runtime.RecoveryPolicy`), or
+        *fault_plan* (a :class:`~repro.runtime.FaultPlan`) switches to the
+        fault-tolerant runtime path instead: the application is driven as
+        discrete dispatch events with retries, watchdogs, and host
+        fallback, and the return value is a single
+        :class:`~repro.runtime.RunReport` (whose ``result`` carries the
+        functional outputs).
         """
         from ..srdfg.interpreter import Executor
+
+        if runtime is not None or policy is not None or fault_plan is not None:
+            from ..runtime import HostManager
+
+            manager = runtime or HostManager(self.accelerators, policy=policy)
+            return manager.run(
+                self,
+                inputs=inputs,
+                params=params,
+                state=state,
+                fault_plan=fault_plan,
+                hints=hints,
+                accelerated_domains=accelerated_domains,
+            )
 
         result = Executor(self.graph).run(inputs=inputs, params=params, state=state)
         total = PerfStats()

@@ -133,6 +133,47 @@ class TestArtifactCache:
         assert fingerprint("a", "b") == fingerprint("a", "b")
         assert fingerprint("a", "b") != fingerprint("b", "a")
 
+    def test_corrupt_disk_entry_is_a_miss_and_is_evicted(self, tmp_path):
+        cache_dir = tmp_path / "c"
+        cache = ArtifactCache(cache_dir=str(cache_dir), diagnostics=Diagnostics())
+        cache.put("key", {"payload": 1})
+        cache._memory.clear()  # force the disk tier
+
+        entry = cache_dir / "key.pkl"
+        entry.write_bytes(b"\x80garbage-not-a-pickle\xff")
+        assert cache.get("key") is None  # never raises
+        assert cache.stats.disk_errors == 1
+        assert cache.stats.misses == 1
+        assert not entry.exists()  # evicted
+        assert any("corrupt" in d.message for d in cache.diagnostics.warnings)
+
+    def test_truncated_disk_entry_is_a_miss(self, tmp_path):
+        cache_dir = tmp_path / "c"
+        cache = ArtifactCache(cache_dir=str(cache_dir))
+        cache.put("key", list(range(1000)))
+        payload = (cache_dir / "key.pkl").read_bytes()
+        (cache_dir / "key.pkl").write_bytes(payload[: len(payload) // 2])
+        cache._memory.clear()
+
+        assert cache.get("key") is None
+        assert cache.stats.disk_errors == 1
+
+    def test_corrupt_entry_recompiles_through_session(self, tmp_path, mpc_source):
+        cache_dir = tmp_path / "artifacts"
+        warm = CompilerSession(default_accelerators(), cache_dir=str(cache_dir))
+        warm.compile(mpc_source, domain="RBT")
+        for entry in cache_dir.glob("*.pkl"):
+            entry.write_bytes(b"not a pickle at all")
+
+        cold = CompilerSession(default_accelerators(), cache_dir=str(cache_dir))
+        app = cold.compile(mpc_source, domain="RBT")  # recompiles, no raise
+        assert "RBT" in app.programs
+        assert cold.stage_executions("parse") == 1
+        assert cold.cache.stats.disk_errors == 1
+        assert any(
+            "corrupt" in d.message for d in cold.diagnostics.warnings
+        )
+
 
 class TestHintBinding:
     def test_session_accelerators_never_mutated(self, session, mpc_source):

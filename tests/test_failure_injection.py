@@ -1,19 +1,29 @@
-"""Failure-injection tests: every phase fails loudly with its own error."""
+"""Failure-injection tests: every phase fails loudly with its own error,
+and the fault-tolerant runtime recovers from injected hardware faults."""
 
 import numpy as np
 import pytest
 
+from repro.driver import CompilerSession
 from repro.errors import (
     ExecutionError,
     LoweringError,
     PMLangSemanticError,
     PMLangSyntaxError,
     PassError,
+    RuntimeFailure,
     ShapeError,
     TargetError,
 )
-from repro.hw import HardwareParams
+from repro.hw import HardwareParams, SoCRuntime
 from repro.passes import PassManager
+from repro.runtime import (
+    FaultPlan,
+    FaultSpec,
+    HostManager,
+    RecoveryPolicy,
+    parse_fault_spec,
+)
 from repro.srdfg import Executor, build
 from repro.targets import Accelerator, AcceleratorSpec, PolyMath, default_accelerators
 
@@ -143,3 +153,224 @@ class TestRuntimeFailures:
         inner.add_edge(first, second, EdgeMeta(name="bad2"))
         with pytest.raises(GraphError, match="cycle"):
             graph.validate()
+
+
+#: A two-domain pipeline with a genuine cross-domain (DMA) crossing.
+TWO_DOMAIN_SOURCE = (
+    "f(input float x[4], output float y[4]) { index i[0:3]; y[i] = x[i]*2.0; }\n"
+    "g(input float y[4], output float z[4]) { index i[0:3]; z[i] = y[i]+1.0; }\n"
+    "main(input float x[4], output float z[4]) "
+    "{ float y[4]; DSP: f(x, y); DA: g(y, z); }"
+)
+
+
+@pytest.fixture(scope="module")
+def two_domain_app():
+    session = CompilerSession(default_accelerators())
+    return session.compile(TWO_DOMAIN_SOURCE, domain="DSP")
+
+
+@pytest.fixture()
+def manager(two_domain_app):
+    return HostManager(two_domain_app.accelerators)
+
+
+class TestRuntimeFaults:
+    """Runtime-level fault injection: stall, corruption, crash, determinism."""
+
+    INPUTS = {"x": np.arange(4.0)}
+
+    def test_fault_free_run_matches_analytic_soc_cost(self, two_domain_app, manager):
+        report = manager.run(two_domain_app, inputs=self.INPUTS)
+        analytic = SoCRuntime(two_domain_app.accelerators).execute(two_domain_app)
+        assert report.completed
+        assert report.total.seconds == pytest.approx(analytic.total.seconds)
+        assert report.faults_injected == 0
+        assert report.availability == pytest.approx(1.0)
+
+    def test_stall_hits_watchdog_then_retry_succeeds(self, two_domain_app, manager):
+        plan = FaultPlan(specs=(FaultSpec(kind="stall", domain="DSP"),), seed=5)
+        report = manager.run(two_domain_app, inputs=self.INPUTS, fault_plan=plan)
+        assert report.completed
+        timeouts = report.events_of("watchdog-timeout")
+        assert len(timeouts) == 1 and timeouts[0].fault == "stall"
+        assert report.retries >= 1
+        assert report.faults_injected == 1
+        assert report.faults_recovered == 1
+        # The stall burned a watchdog budget the fault-free run never pays.
+        assert report.total.seconds > report.fault_free.seconds
+        assert report.availability < 1.0
+        assert report.events_of("backoff")  # waited before the retry
+
+    def test_dma_corruption_retries_transfer_then_succeeds(
+        self, two_domain_app, manager
+    ):
+        plan = FaultPlan(specs=(FaultSpec(kind="dma-corrupt", domain="DA"),), seed=5)
+        report = manager.run(two_domain_app, inputs=self.INPUTS, fault_plan=plan)
+        assert report.completed
+        faults = [event for event in report.events if event.fault == "dma-corrupt"]
+        assert faults and "checksum" in faults[-1].detail
+        assert report.events_of("retry")
+        assert report.faults_recovered == 1
+        assert not report.degraded_domains  # a retried DMA needs no fallback
+
+    def test_crash_degrades_to_host_with_identical_outputs(
+        self, two_domain_app, manager
+    ):
+        baseline = manager.run(two_domain_app, inputs=self.INPUTS)
+        plan = FaultPlan(specs=(FaultSpec(kind="crash", domain="DA"),), seed=5)
+        report = manager.run(two_domain_app, inputs=self.INPUTS, fault_plan=plan)
+
+        assert report.completed
+        assert report.degraded_domains == ["DA"]
+        assert "DA" in report.unhealthy
+        assert report.faults_injected == 1 and report.faults_recovered == 1
+        assert report.retries >= 1
+        assert report.events_of("host-fallback") and report.events_of("stage-replay")
+        # Graceful degradation is functionally invisible: bit-for-bit.
+        np.testing.assert_array_equal(
+            report.result.outputs["z"], baseline.result.outputs["z"]
+        )
+        # The manager surfaced the fault through diagnostics too.
+        assert any(
+            "crash" in d.message for d in manager.diagnostics.warnings
+        ) or any("crash" in d.message for d in manager.diagnostics.errors)
+
+    def test_same_plan_and_seed_reproduce_identical_event_sequences(
+        self, two_domain_app, manager
+    ):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="stall", probability=0.4),
+                FaultSpec(kind="dma-corrupt", probability=0.5),
+            ),
+            seed=11,
+        )
+        # Aborted runs must be exactly as reproducible as completed ones.
+        first = manager.run(
+            two_domain_app, fault_plan=plan, execute=False, raise_on_failure=False
+        )
+        second = manager.run(
+            two_domain_app, fault_plan=plan, execute=False, raise_on_failure=False
+        )
+        assert first.event_signature() == second.event_signature()
+        assert first.faults_injected == second.faults_injected
+        assert first.completed == second.completed
+
+        different = FaultPlan(specs=plan.specs, seed=12)
+        third = manager.run(
+            two_domain_app, fault_plan=different, execute=False, raise_on_failure=False
+        )
+        assert third.event_signature() != first.event_signature()
+
+    def test_exhausted_retries_without_fallback_raise(self, two_domain_app):
+        strict = HostManager(
+            two_domain_app.accelerators,
+            policy=RecoveryPolicy(max_attempts=2, host_fallback=False),
+        )
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="stall", domain="DSP", probability=1.0),), seed=1
+        )
+        with pytest.raises(RuntimeFailure) as excinfo:
+            strict.run(two_domain_app, fault_plan=plan, execute=False)
+        report = excinfo.value.report
+        assert not report.completed
+        assert report.events_of("abort")
+        assert "failed" in report.abort_reason
+
+    def test_crash_without_fallback_aborts(self, two_domain_app):
+        strict = HostManager(
+            two_domain_app.accelerators,
+            policy=RecoveryPolicy(host_fallback=False),
+        )
+        plan = FaultPlan(specs=(FaultSpec(kind="crash", domain="DSP"),), seed=1)
+        report = strict.run(
+            two_domain_app, fault_plan=plan, execute=False, raise_on_failure=False
+        )
+        assert not report.completed
+        assert "crash" in report.abort_reason
+
+    def test_compiled_application_run_takes_the_runtime_path(self, two_domain_app):
+        plan = FaultPlan(specs=(FaultSpec(kind="transient", domain="DSP"),), seed=2)
+        report = two_domain_app.run(inputs=self.INPUTS, fault_plan=plan)
+        assert report.completed
+        assert report.faults_injected == 1
+        np.testing.assert_array_equal(
+            report.result.outputs["z"], np.arange(4.0) * 2.0 + 1.0
+        )
+
+    def test_run_report_serialises_and_renders(self, two_domain_app, manager):
+        plan = FaultPlan(specs=(FaultSpec(kind="crash", domain="DA"),), seed=5)
+        report = manager.run(two_domain_app, inputs=self.INPUTS, fault_plan=plan)
+        payload = report.to_dict()
+        assert payload["completed"] is True
+        assert payload["degraded_domains"] == ["DA"]
+        assert payload["events"][0]["kind"] == "dispatch"
+        text = report.render()
+        assert "host-fallback" in text and "crash" in text
+        assert "availability" in text
+
+    def test_backoff_is_bounded_and_exponential(self):
+        policy = RecoveryPolicy(
+            backoff_base_s=1e-4, backoff_factor=2.0, backoff_cap_s=3e-4
+        )
+        assert policy.backoff_s(1) == pytest.approx(1e-4)
+        assert policy.backoff_s(2) == pytest.approx(2e-4)
+        assert policy.backoff_s(3) == pytest.approx(3e-4)  # capped
+        assert policy.backoff_s(10) == pytest.approx(3e-4)
+
+    def test_fault_spec_parsing(self):
+        spec = parse_fault_spec("dma-corrupt@DA:p=0.25:n=2")
+        assert spec.kind == "dma-corrupt"
+        assert spec.domain == "DA"
+        assert spec.probability == 0.25
+        assert spec.max_triggers == 2
+        scheduled = parse_fault_spec("stall@DSP:at=0,2")
+        assert scheduled.at == (0, 2)
+        with pytest.raises(ValueError):
+            parse_fault_spec("meltdown@DA")
+        with pytest.raises(ValueError):
+            parse_fault_spec("stall@DA:frequency=often")
+
+
+class TestEndToEndChaos:
+    """Acceptance scenario: the cascaded FFT->LR->MPC application survives
+    an accelerator crash via host fallback, bit-for-bit."""
+
+    @pytest.fixture(scope="class")
+    def brainstimul(self):
+        from repro.workloads import get_workload
+
+        workload = get_workload("BrainStimul")
+        session = CompilerSession(default_accelerators())
+        app = session.compile(
+            workload.source(),
+            domain=workload.domain,
+            data_hints=workload.hints(),
+        )
+        return workload, app
+
+    def test_crash_in_da_completes_via_host_fallback(self, brainstimul):
+        workload, app = brainstimul
+        manager = HostManager(app.accelerators)
+        kwargs = dict(
+            inputs=workload.inputs(0, None),
+            params=workload.params(),
+            state=workload.initial_state(),
+            hints=workload.hints(),
+        )
+        baseline = manager.run(app, **kwargs)
+        plan = FaultPlan(specs=(FaultSpec(kind="crash", domain="DA"),), seed=7)
+        report = manager.run(app, fault_plan=plan, **kwargs)
+
+        assert report.completed
+        assert report.degraded_domains == ["DA"]
+        assert report.faults_injected == 1 and report.faults_recovered == 1
+        assert report.retries >= 1
+        for name in baseline.result.outputs:
+            np.testing.assert_array_equal(
+                report.result.outputs[name], baseline.result.outputs[name]
+            )
+        # Identical plan + seed => identical event stream, twice.
+        replay = manager.run(app, fault_plan=plan, **kwargs)
+        assert replay.event_signature() == report.event_signature()
