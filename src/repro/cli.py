@@ -74,6 +74,15 @@ def _cmd_compile(args):
 def _cmd_stats(args):
     from .errors import PolyMathError
 
+    if args.source is None and args.workload is None:
+        print(
+            "stats: provide a PMLang source path or --workload NAME",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workload is not None:
+        return _stats_workload(args)
+
     source = _load_source(args.source)
     session = _session()
     failed = False
@@ -87,6 +96,72 @@ def _cmd_stats(args):
             break
     print(session.stats_report())
     return 1 if failed else 0
+
+
+def _stats_workload(args):
+    """Compile a workload, execute its plan N steps, report plan reuse.
+
+    The session report includes the plan-cache hit/miss counters and the
+    per-statement first-call vs steady-state timing columns; with
+    ``--assert-plan-reuse`` the exit status additionally enforces — by
+    counters, not wall-clock — that no statement plan was rebuilt during
+    execution and every plan ran exactly once per step.
+    """
+    import numpy as np
+
+    from .eval import Harness
+    from .srdfg.plan import PLAN_STATS
+
+    harness = Harness()
+    workload, app, _ = harness.compiled(args.workload)
+    session = harness.session
+    plan = session.plan_for(app, precision=args.precision)
+
+    before = PLAN_STATS.snapshot()
+    steps = max(0, args.execute)
+    state = {
+        key: np.asarray(value)
+        for key, value in workload.initial_state().items()
+    }
+    previous = None
+    for step in range(steps):
+        result = plan.execute(
+            inputs=workload.inputs(step, previous),
+            params=workload.params(),
+            state=state,
+        )
+        state = result.state
+        previous = result
+    after = PLAN_STATS.snapshot()
+
+    print(session.stats_report())
+
+    if args.assert_plan_reuse:
+        problems = []
+        rebuilt = after.statements_planned - before.statements_planned
+        if rebuilt:
+            problems.append(
+                f"{rebuilt} statement plan(s) built during execution "
+                "(expected 0: planning happens once, before the first step)"
+            )
+        for label, statement in plan.iter_statements():
+            if statement.built != 1:
+                problems.append(f"{label!r} built {statement.built} time(s)")
+            if steps and statement.executions != steps:
+                problems.append(
+                    f"{label!r} executed {statement.executions} time(s), "
+                    f"expected {steps}"
+                )
+        if problems:
+            print("\nplan-reuse assertion FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"\nplan reuse OK: {plan.statement_count} statement plan(s) "
+            f"built once each, executed {steps} time(s) each"
+        )
+    return 0
 
 
 def _cmd_profile(args):
@@ -219,6 +294,7 @@ def _cmd_chaos(args):
                 state=state,
                 fault_plan=active,
                 hints=workload.hints(),
+                precision=args.precision,
             )
             previous = report.result
             state = report.result.state
@@ -284,7 +360,10 @@ def build_parser():
     stats = sub.add_parser(
         "stats", help="per-stage compile timings, deltas, and cache report"
     )
-    stats.add_argument("source", help="PMLang file path (- for stdin)")
+    stats.add_argument(
+        "source", nargs="?", default=None,
+        help="PMLang file path (- for stdin); omit with --workload",
+    )
     stats.add_argument("--domain", default=None, help="top-level domain tag")
     stats.add_argument(
         "--repeat",
@@ -292,6 +371,32 @@ def build_parser():
         default=2,
         help="compile the program N times (default 2, demonstrating the "
         "artifact cache)",
+    )
+    stats.add_argument(
+        "--workload",
+        default=None,
+        metavar="NAME",
+        help="compile a named workload instead of a source file and report "
+        "its execution plan (first-call vs steady-state timings)",
+    )
+    stats.add_argument(
+        "--execute",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --workload: execute the plan for N steps, threading state",
+    )
+    stats.add_argument(
+        "--precision",
+        default="f64",
+        choices=("f64", "f32"),
+        help="execution-plan float precision (default f64)",
+    )
+    stats.add_argument(
+        "--assert-plan-reuse",
+        action="store_true",
+        help="exit nonzero unless each statement plan was built exactly "
+        "once and executed once per step (counter-based)",
     )
     stats.set_defaults(func=_cmd_stats)
 
@@ -366,6 +471,13 @@ def build_parser():
         "--compare",
         action="store_true",
         help="also run fault-free and verify outputs match bit-for-bit",
+    )
+    chaos.add_argument(
+        "--precision",
+        default="f64",
+        choices=("f64", "f32"),
+        help="execution precision for both the faulty and the fault-free "
+        "run (host fallback honours it too; default f64)",
     )
     chaos.add_argument(
         "--quiet", action="store_true", help="omit the per-event trace"

@@ -70,11 +70,19 @@ class CacheStats:
     stores: int = 0
     disk_hits: int = 0
     disk_errors: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_stores: int = 0
 
     def render(self):
         line = f"{self.hits} hit(s) / {self.misses} miss(es), {self.stores} store(s)"
         if self.disk_hits or self.disk_errors:
             line += f"; disk: {self.disk_hits} hit(s), {self.disk_errors} error(s)"
+        if self.plan_hits or self.plan_misses or self.plan_stores:
+            line += (
+                f"; plans: {self.plan_hits} hit(s) / "
+                f"{self.plan_misses} miss(es), {self.plan_stores} store(s)"
+            )
         return line
 
 
@@ -88,6 +96,10 @@ class ArtifactCache:
     #: disk-tier degradation warnings (the session wires its own in).
     diagnostics: Optional[object] = None
     _memory: Dict[str, object] = field(default_factory=dict)
+    #: Execution-plan tier, keyed on (graph fingerprint, plan config).
+    #: Memory-only: plans hold live numpy closures and weak graph refs,
+    #: so they are cheap to rebuild but pointless to pickle.
+    _plans: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self):
         if self.cache_dir is not None:
@@ -165,8 +177,31 @@ class ArtifactCache:
                 )
         return True
 
+    # -- execution-plan tier -----------------------------------------------
+
+    def plan_get(self, key):
+        """Cached ExecutionPlan for *key*, or None (counts a hit/miss).
+
+        Keys come from :func:`repro.srdfg.plan.plan_cache_key`, which
+        hashes the graph's *structure* — so a session replay that rebuilt
+        a structurally identical graph still hits this tier and skips
+        planning entirely.
+        """
+        plan = self._plans.get(key)
+        if plan is None:
+            self.stats.plan_misses += 1
+            return None
+        self.stats.plan_hits += 1
+        return plan
+
+    def plan_put(self, key, plan):
+        self._plans[key] = plan
+        self.stats.plan_stores += 1
+        return True
+
     def clear(self):
         self._memory.clear()
+        self._plans.clear()
 
     def __len__(self):
         return len(self._memory)

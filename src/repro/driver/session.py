@@ -117,6 +117,10 @@ class CompilerSession:
         self.records: List[StageRecord] = []
         self.compiles = 0
         self._stage_hooks: List[Callable] = []
+        #: ExecutionPlans obtained through :meth:`plan_for`, in order —
+        #: kept alive for the session report (plans hold only weak graph
+        #: references, so this does not pin compiled graphs).
+        self.plans: List[object] = []
 
     # -- hooks ---------------------------------------------------------------
 
@@ -346,6 +350,53 @@ class CompilerSession:
             )
         return artifact.with_hints(data_hints)
 
+    # -- execution plans --------------------------------------------------------
+
+    def plan_for(self, app, precision="f64", lattice_limit=None,
+                 enable_einsum=True):
+        """The shared :class:`~repro.srdfg.plan.ExecutionPlan` for *app*.
+
+        Backed by the artifact cache's plan tier, keyed on the graph's
+        structural fingerprint plus the plan configuration — so a replayed
+        compile (even one that rebuilt a structurally identical graph)
+        skips planning entirely. Each lookup is recorded as a ``plan``
+        stage; hits carry ``cached=True``, like compile cache hits do.
+        """
+        from ..srdfg.plan import PlanConfig, memoize_plan, plan_cache_key, plan_for_graph
+
+        config = PlanConfig(
+            precision=precision,
+            lattice_limit=lattice_limit,
+            enable_einsum=enable_einsum,
+        )
+        start = time.perf_counter()
+        key = plan_cache_key(app.graph, config)
+        plan = self.cache.plan_get(key)
+        cached = plan is not None
+        if cached:
+            # Seed the per-instance memo so Executor(app.graph) and every
+            # other direct consumer of this graph reuses the cached plan.
+            memoize_plan(app.graph, plan)
+        else:
+            plan = plan_for_graph(
+                app.graph, config=config, diagnostics=self.diagnostics
+            )
+            self.cache.plan_put(key, plan)
+        self._record(
+            StageRecord(
+                stage="plan",
+                seconds=time.perf_counter() - start,
+                cached=cached,
+                detail=(
+                    f"{plan.statement_count} statement plan(s), "
+                    f"key {key[:12]}"
+                ),
+            )
+        )
+        if plan not in self.plans:
+            self.plans.append(plan)
+        return plan
+
     # -- reporting -------------------------------------------------------------
 
     def stage_executions(self, stage=None):
@@ -403,6 +454,9 @@ class CompilerSession:
                 f"{stage:28s} {totals[stage] * 1e3:9.3f} ms  "
                 f"{executions[stage]:10d}  {delta}".rstrip()
             )
+        for plan in self.plans:
+            lines.append("")
+            lines.append(plan.render_stats())
         counts = self.diagnostics.counts()
         lines.append("")
         lines.append(

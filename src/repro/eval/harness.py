@@ -135,6 +135,10 @@ class Harness:
         functional_ok = None
         functional_error = None
         if self.validate:
+            # Warm the session's plan tier first: every validation step
+            # (and any later chaos/simulate path over this graph) then
+            # reuses one ExecutionPlan instead of replanning.
+            self.session.plan_for(app)
             check = workload.check_functional(graph=app.graph)
             functional_ok = check.ok
             functional_error = check.error

@@ -200,6 +200,8 @@ class HostManager:
         accelerated_domains=None,
         execute=True,
         raise_on_failure=True,
+        precision="f64",
+        lattice_limit=None,
     ):
         """Execute *compiled* under faults; returns :class:`RunReport`.
 
@@ -210,6 +212,14 @@ class HostManager:
         Raises :class:`~repro.errors.RuntimeFailure` (carrying the partial
         report) when recovery is exhausted, unless *raise_on_failure* is
         False — then the report comes back with ``completed=False``.
+
+        *precision* and *lattice_limit* select the execution-plan
+        configuration used for the functional (host-fallback) execution,
+        so an ``f32`` application's fallback really runs at f32 — the
+        bit-identical recovery guarantee holds at non-default precision,
+        not just by coincidence of both paths defaulting to f64. The plan
+        itself is shared through the per-graph memo, so retries and
+        repeated chaos steps never replan.
         """
         hints = dict(hints or {})
         if accelerated_domains is None:
@@ -256,9 +266,15 @@ class HostManager:
             report.faults_recovered = report.faults_injected
             self._emit(run_state, COMPLETE, domain=None, detail="all stages done")
             if execute:
-                from ..srdfg.interpreter import Executor
+                from ..srdfg.plan import PlanConfig, plan_for_graph
 
-                report.result = Executor(compiled.graph).run(
+                plan = plan_for_graph(
+                    compiled.graph,
+                    config=PlanConfig(
+                        precision=precision, lattice_limit=lattice_limit
+                    ),
+                )
+                report.result = plan.execute(
                     inputs=inputs, params=params, state=state
                 )
         if not ok and raise_on_failure:

@@ -3,9 +3,24 @@
 from .builder import build, eval_static
 from .expand import expand_scalar, scalar_op_histogram
 from .graph import COMPONENT, COMPUTE, CONST, SCALAR, VAR, Edge, Node, SrDFG
-from .interpreter import ExecutionResult, Executor, evaluate_statement
+from .interpreter import (
+    ExecutionResult,
+    Executor,
+    evaluate_statement,
+    resolve_dtype,
+)
 from .metadata import EdgeMeta, VarInfo
 from .opclass import OpDescriptor, classify
+from .plan import (
+    PLAN_STATS,
+    ExecutionPlan,
+    PlanConfig,
+    StatementPlan,
+    build_plan,
+    graph_fingerprint,
+    plan_cache_key,
+    plan_for_graph,
+)
 
 __all__ = [
     "COMPONENT",
@@ -15,16 +30,25 @@ __all__ = [
     "VAR",
     "Edge",
     "EdgeMeta",
+    "ExecutionPlan",
     "ExecutionResult",
     "Executor",
     "Node",
     "OpDescriptor",
+    "PLAN_STATS",
+    "PlanConfig",
     "SrDFG",
+    "StatementPlan",
     "VarInfo",
     "build",
+    "build_plan",
     "classify",
     "eval_static",
     "evaluate_statement",
     "expand_scalar",
+    "graph_fingerprint",
+    "plan_cache_key",
+    "plan_for_graph",
+    "resolve_dtype",
     "scalar_op_histogram",
 ]

@@ -22,6 +22,15 @@ semantics:
   general tensor contractions);
 * other big reductions are evaluated in chunks along their largest bound
   axis so the materialised lattice stays under ``lattice_limit`` elements.
+
+Planning vs executing
+---------------------
+Everything above that is derivable from the graph alone — axis spaces,
+einsum dispatch, chunk plans, topological order, dtype tables — is
+compiled once into an :class:`~repro.srdfg.plan.ExecutionPlan` (see
+:mod:`repro.srdfg.plan`); :class:`Executor` is a thin facade that plans
+lazily on first use and only binds data per call, so steady-state
+workloads stop paying planning cost on every step.
 """
 
 from __future__ import annotations
@@ -34,15 +43,24 @@ import numpy as np
 from ..errors import ExecutionError
 from ..pmlang import ast_nodes as ast
 from ..pmlang.builtins import GROUP_REDUCTIONS, SCALAR_FUNCTIONS
-from .graph import COMPONENT, COMPUTE, CONST, VAR
 
-#: PMLang element type -> numpy dtype.
+#: PMLang element type -> numpy dtype (the "float" entry is the default
+#: float width; :func:`resolve_dtype` substitutes the active precision).
 DTYPE_NP = {
     "float": np.float64,
     "int": np.int64,
     "bin": np.int8,
     "complex": np.complex128,
 }
+
+#: Available float precisions. ``f32`` models accelerator arithmetic:
+#: values are rounded to float32 at every statement boundary
+#: (statement-granularity quantisation; intermediates inside one formula
+#: stay double, like a wide accumulator).
+PRECISIONS = {"f64": np.float64, "f32": np.float32}
+
+#: Maximum lattice elements materialised at once before reductions chunk.
+DEFAULT_LATTICE_LIMIT = 1 << 24
 
 _REDUCE_IDENTITY = {"sum": 0.0, "prod": 1.0, "max": -np.inf, "min": np.inf}
 
@@ -72,14 +90,17 @@ class ExecutionResult:
     state: Dict[str, np.ndarray] = field(default_factory=dict)
 
 
-def _np_dtype(dtype, float_dtype=np.float64):
+def resolve_dtype(dtype, float_dtype=np.float64):
+    """Resolve a PMLang element type to a numpy dtype.
+
+    The single source of truth for dtype resolution (used by the
+    interpreter, the plan engine's dtype tables, and binding synthesis):
+    ``"float"`` maps to the active precision's width, everything else
+    looks up :data:`DTYPE_NP`, and unknown types default to float64.
+    """
     if dtype == "float":
         return float_dtype
     return DTYPE_NP.get(dtype, np.float64)
-
-
-def _as_array(value, dtype, float_dtype=np.float64):
-    return np.asarray(value, dtype=_np_dtype(dtype, float_dtype))
 
 
 class _AxisSpace:
@@ -142,12 +163,14 @@ class _AxisSpace:
 class _ExprEvaluator:
     """Evaluates one statement's expressions over its axis space."""
 
-    def __init__(self, space, static_env, var_values, reductions, sub_ranges=None):
+    def __init__(self, space, static_env, var_values, reductions, sub_ranges=None,
+                 enable_einsum=True):
         self.space = space
         self.static_env = static_env
         self.var_values = var_values
         self.reductions = reductions
         self.sub_ranges = sub_ranges or {}
+        self.enable_einsum = enable_einsum
         self._index_cache = {}
         #: Stack of active reduction predicates: subscripts at lattice
         #: points a predicate masks out are clamped instead of erroring,
@@ -307,7 +330,7 @@ class _ExprEvaluator:
 
     def _eval_reduction(self, expr):
         axes = tuple(self.space.axis[spec.name] for spec in expr.indices)
-        fast = self._try_einsum(expr, axes)
+        fast = self._try_einsum(expr, axes) if self.enable_einsum else None
         if fast is not None:
             return fast
 
@@ -525,7 +548,15 @@ def _evaluate_combiner(expr, env):
 
 
 class Executor:
-    """Executes an srDFG functionally.
+    """Executes an srDFG functionally via a (lazily built) ExecutionPlan.
+
+    Since the plan/execute split, this class is a thin facade over
+    :mod:`repro.srdfg.plan`: construction validates configuration and the
+    first :meth:`run` obtains the shared :class:`~repro.srdfg.plan.ExecutionPlan`
+    for the graph through :func:`~repro.srdfg.plan.plan_for_graph` (memoised
+    per graph instance, so every ``Executor(graph)`` built over the same
+    graph reuses one plan). Binding inputs/params/state and stepping the
+    prebuilt plan is all that remains on the per-call path.
 
     Parameters
     ----------
@@ -537,30 +568,68 @@ class Executor:
     lattice_limit:
         Maximum number of lattice elements materialised at once; larger
         reductions are evaluated in chunks along their biggest bound axis.
+    precision:
+        ``"f64"`` (default) or ``"f32"`` (see :data:`PRECISIONS`).
+    enable_einsum:
+        Gate the einsum fast path (disabled by tests that pin a statement
+        to the lattice or chunked path).
+    plan:
+        A prebuilt :class:`~repro.srdfg.plan.ExecutionPlan` to run instead
+        of planning lazily (see :meth:`from_plan`).
     """
 
-    #: Available float precisions. ``f32`` models accelerator arithmetic:
-    #: values are rounded to float32 at every statement boundary
-    #: (statement-granularity quantisation; intermediates inside one
-    #: formula stay double, like a wide accumulator).
-    PRECISIONS = {"f64": np.float64, "f32": np.float32}
+    #: Kept as a class attribute for backwards compatibility.
+    PRECISIONS = PRECISIONS
 
-    def __init__(self, graph, reductions=None, lattice_limit=1 << 24,
-                 precision="f64"):
+    def __init__(self, graph, reductions=None,
+                 lattice_limit=DEFAULT_LATTICE_LIMIT, precision="f64",
+                 enable_einsum=True, plan=None):
         self.graph = graph
         if reductions is None:
             reductions = getattr(graph, "reductions", None)
         self.reductions = dict(reductions or {})
-        self.lattice_limit = lattice_limit
-        if precision not in self.PRECISIONS:
+        self.lattice_limit = (
+            lattice_limit if lattice_limit is not None else DEFAULT_LATTICE_LIMIT
+        )
+        if precision not in PRECISIONS:
             raise ExecutionError(
                 f"unknown precision {precision!r}; choose from "
-                f"{sorted(self.PRECISIONS)}"
+                f"{sorted(PRECISIONS)}"
             )
         self.precision = precision
-        self.float_dtype = self.PRECISIONS[precision]
+        self.float_dtype = PRECISIONS[precision]
+        self.enable_einsum = enable_einsum
+        self._plan = plan
 
-    # -- public API ------------------------------------------------------------
+    @classmethod
+    def from_plan(cls, plan, graph=None):
+        """An executor running a prebuilt plan (no planning on first run)."""
+        if graph is None:
+            graph = plan.graph
+        return cls(
+            graph,
+            reductions=plan.reductions,
+            lattice_limit=plan.config.lattice_limit,
+            precision=plan.config.precision,
+            enable_einsum=plan.config.enable_einsum,
+            plan=plan,
+        )
+
+    @property
+    def plan(self):
+        """The ExecutionPlan this executor runs; built/shared on first use."""
+        if self._plan is None:
+            from .plan import PlanConfig, plan_for_graph
+
+            config = PlanConfig(
+                precision=self.precision,
+                lattice_limit=self.lattice_limit,
+                enable_einsum=self.enable_einsum,
+            )
+            self._plan = plan_for_graph(
+                self.graph, reductions=self.reductions, config=config
+            )
+        return self._plan
 
     def run(self, inputs=None, params=None, state=None, output_init=None,
             trace=None):
@@ -570,141 +639,13 @@ class Executor:
         ``{"node", "kind", "produced": {name: (shape, dtype)}}`` — a
         lightweight execution trace for debugging graph transformations.
         """
-        inputs = inputs or {}
-        params = params or {}
-        state = state or {}
-        output_init = output_init or {}
-
-        values: Dict[tuple, np.ndarray] = {}
-        for node in self.graph.topological_order():
-            if node.kind == VAR:
-                values[(node.uid, node.name)] = self._var_initial(
-                    node, inputs, params, state, output_init
-                )
-            elif node.kind == CONST:
-                values[(node.uid, node.name.split("=")[0])] = _as_array(
-                    node.attrs["value"],
-                    node.attrs.get("dtype", "float"),
-                    self.float_dtype,
-                )
-            elif node.kind == COMPUTE:
-                self._run_compute(node, values)
-            elif node.kind == COMPONENT:
-                self._run_component(node, values)
-            if trace is not None:
-                produced = {
-                    name: (tuple(np.shape(value)), str(np.asarray(value).dtype))
-                    for (uid, name), value in values.items()
-                    if uid == node.uid
-                }
-                trace.append(
-                    {"node": node.name, "kind": node.kind, "produced": produced}
-                )
-
-        return self._collect_results(values, state, output_init)
-
-    # -- node execution -----------------------------------------------------------
-
-    def _var_initial(self, node, inputs, params, state, output_init):
-        modifier = node.attrs["modifier"]
-        name = node.name
-        dtype = node.attrs["dtype"]
-        shape = node.attrs["shape"]
-        if modifier == "input":
-            if name not in inputs:
-                raise ExecutionError(f"missing input {name!r}")
-            value = inputs[name]
-        elif modifier == "param":
-            if name not in params:
-                raise ExecutionError(f"missing param {name!r}")
-            value = params[name]
-        elif modifier == "state":
-            value = state.get(name, np.zeros(shape))
-        elif modifier == "output":
-            value = output_init.get(name, np.zeros(shape))
-        else:  # local read-before-write
-            value = np.zeros(shape)
-        array = _as_array(value, dtype, self.float_dtype)
-        if tuple(array.shape) != tuple(shape):
-            raise ExecutionError(
-                f"value for {name!r} has shape {tuple(array.shape)}, "
-                f"declared {tuple(shape)}"
-            )
-        return array
-
-    def _gather_inputs(self, node, values):
-        gathered = {}
-        for edge in self.graph.in_edges(node):
-            key = (edge.src.uid, edge.md.producer_name)
-            if key in values:
-                gathered[edge.md.name] = values[key]
-        return gathered
-
-    def _run_compute(self, node, values):
-        stmt = node.attrs["stmt"]
-        var_values = self._gather_inputs(node, values)
-        result = evaluate_statement(
-            stmt,
-            node.attrs["index_ranges"],
-            node.attrs["static_env"],
-            var_values,
-            self.reductions,
-            lhs_shape=node.attrs["lhs_shape"],
-            dtype=node.attrs["dtype"],
-            lattice_limit=self.lattice_limit,
-            float_dtype=self.float_dtype,
+        return self.plan.execute(
+            inputs=inputs,
+            params=params,
+            state=state,
+            output_init=output_init,
+            trace=trace,
         )
-        values[(node.uid, stmt.target)] = result
-
-    def _run_component(self, node, values):
-        incoming = self._gather_inputs(node, values)
-        sub = node.subgraph
-        inputs, params, state, output_init = {}, {}, {}, {}
-        for binding in node.attrs["bindings"]:
-            if binding.kind == "const":
-                continue
-            value = incoming.get(binding.actual)
-            if value is None:
-                declared = sub.vars.get(binding.formal)
-                value = np.zeros(declared.shape if declared else ())
-            if binding.modifier == "input":
-                inputs[binding.formal] = value
-            elif binding.modifier == "param":
-                params[binding.formal] = value
-            elif binding.modifier == "state":
-                state[binding.formal] = value
-            elif binding.modifier == "output":
-                output_init[binding.formal] = value
-        result = Executor(
-            sub, self.reductions, self.lattice_limit, precision=self.precision
-        ).run(inputs, params, state, output_init)
-        for binding in node.attrs["bindings"]:
-            if binding.kind == "const":
-                continue
-            if binding.modifier == "output":
-                values[(node.uid, binding.actual)] = result.outputs[binding.formal]
-            elif binding.modifier == "state":
-                values[(node.uid, binding.actual)] = result.state[binding.formal]
-
-    def _collect_results(self, values, state, output_init):
-        result = ExecutionResult()
-        for node in self.graph.var_nodes():
-            modifier = node.attrs["modifier"]
-            if modifier not in ("output", "state"):
-                continue
-            final = None
-            for edge in self.graph.edges:
-                if edge.dst.uid == node.uid and edge.src.uid != node.uid:
-                    key = (edge.src.uid, edge.md.producer_name)
-                    if key in values:
-                        final = values[key]
-            if final is None:
-                final = values[(node.uid, node.name)]
-            if modifier == "output":
-                result.outputs[node.name] = final
-            else:
-                result.state[node.name] = final
-        return result
 
 
 def evaluate_statement(
@@ -715,87 +656,34 @@ def evaluate_statement(
     reductions=None,
     lhs_shape=(),
     dtype="float",
-    lattice_limit=1 << 24,
+    lattice_limit=DEFAULT_LATTICE_LIMIT,
     float_dtype=np.float64,
+    enable_einsum=True,
 ):
     """Evaluate one PMLang assignment; returns the new value of its target.
 
     Exposed as a function so tests can exercise statement semantics without
-    building whole graphs.
+    building whole graphs. Builds a throwaway
+    :class:`~repro.srdfg.plan.StatementPlan` and executes it once —
+    callers that evaluate the same statement repeatedly should hold a
+    StatementPlan (or a whole-graph ExecutionPlan) instead.
     """
-    reductions = reductions or {}
-    space = _AxisSpace(stmt, index_ranges)
+    from .plan import StatementPlan
 
-    raw = None
-    if isinstance(stmt.value, ast.ReductionCall):
-        # Contractions that einsum can express never materialise the
-        # lattice, so prefer that over chunked evaluation.
-        evaluator = _ExprEvaluator(space, static_env, var_values, reductions)
-        axes = tuple(space.axis[spec.name] for spec in stmt.value.indices)
-        raw = evaluator._try_einsum(stmt.value, axes)
-    if raw is None:
-        chunk_plan = _plan_chunks(stmt, space, lattice_limit)
-        if chunk_plan is None:
-            evaluator = _ExprEvaluator(space, static_env, var_values, reductions)
-            raw = evaluator.eval(stmt.value)
-        else:
-            raw = _evaluate_chunked(
-                stmt, space, static_env, var_values, reductions, chunk_plan
-            )
-
-    raw = np.asarray(raw)
-    if raw.ndim == space.total and space.total > 0:
-        # Drop reduction axes (all size 1 after keepdims-style reduction).
-        squeeze_axes = tuple(
-            axis for axis in range(space.free_count, space.total)
-        )
-        if squeeze_axes:
-            raw = np.squeeze(raw, axis=squeeze_axes)
-    free_shape = tuple(space.size(name) for name in space.order[: space.free_count])
-    if free_shape:
-        raw = np.broadcast_to(raw, free_shape)
-
-    target_dtype = _np_dtype(dtype, float_dtype)
-    if not stmt.target_indices:
-        if lhs_shape not in ((), (1,)):
-            raise ExecutionError(
-                f"whole-array assignment to {stmt.target!r} requires subscripts"
-            )
-        scalar = np.asarray(raw, dtype=target_dtype).reshape(lhs_shape)
-        return scalar
-
-    previous = var_values.get(stmt.target)
-    if previous is not None:
-        out = np.array(previous, dtype=target_dtype, copy=True)
-        if tuple(out.shape) != tuple(lhs_shape):
-            out = np.zeros(lhs_shape, dtype=target_dtype)
-    else:
-        out = np.zeros(lhs_shape, dtype=target_dtype)
-
-    # Evaluate target subscripts over the free axes.
-    free_space = space
-    evaluator = _ExprEvaluator(free_space, static_env, var_values, reductions)
-    index_arrays = []
-    for dim, index_expr in enumerate(stmt.target_indices):
-        value = np.asarray(evaluator.eval(index_expr))
-        if value.dtype.kind == "f":
-            value = np.rint(value).astype(np.int64)
-        if value.ndim == space.total and space.total > 0:
-            squeeze_axes = tuple(range(space.free_count, space.total))
-            if squeeze_axes:
-                value = np.squeeze(value, axis=squeeze_axes)
-        extent = out.shape[dim]
-        if value.size and (value.min() < 0 or value.max() >= extent):
-            raise ExecutionError(
-                f"write subscript {dim} of {stmt.target!r} out of range for "
-                f"extent {extent}"
-            )
-        index_arrays.append(value)
-
-    broadcast = np.broadcast_arrays(*index_arrays, np.asarray(raw))
-    targets, payload = broadcast[:-1], broadcast[-1]
-    out[tuple(targets)] = payload
-    return out
+    plan = StatementPlan(
+        stmt,
+        index_ranges,
+        static_env,
+        lhs_shape=lhs_shape,
+        dtype=dtype,
+        reductions=reductions,
+        lattice_limit=(
+            lattice_limit if lattice_limit is not None else DEFAULT_LATTICE_LIMIT
+        ),
+        float_dtype=float_dtype,
+        enable_einsum=enable_einsum,
+    )
+    return plan.execute(var_values)
 
 
 def _plan_chunks(stmt, space, lattice_limit):
@@ -815,7 +703,8 @@ def _plan_chunks(stmt, space, lattice_limit):
     return (chunk_name, chunk_len, value.op)
 
 
-def _evaluate_chunked(stmt, space, static_env, var_values, reductions, plan):
+def _evaluate_chunked(stmt, space, static_env, var_values, reductions, plan,
+                      enable_einsum=True):
     chunk_name, chunk_len, op = plan
     low, high = space.index_ranges[chunk_name]
     partial = None
@@ -829,7 +718,9 @@ def _evaluate_chunked(stmt, space, static_env, var_values, reductions, plan):
     while start <= high:
         stop = min(high, start + chunk_len - 1)
         evaluator = _ExprEvaluator(
-            space, static_env, var_values, reductions, sub_ranges={chunk_name: (start, stop)}
+            space, static_env, var_values, reductions,
+            sub_ranges={chunk_name: (start, stop)},
+            enable_einsum=enable_einsum,
         )
         piece = np.asarray(evaluator.eval(stmt.value))
         partial = piece if partial is None else combine(partial, piece)

@@ -27,7 +27,6 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..errors import TargetError
 from ..hw.cost import PerfStats, RooflineModel
 from ..srdfg.graph import COMPONENT, COMPUTE, CONST, VAR
-from ..srdfg.interpreter import Executor
 from ..srdfg.metadata import LOCAL
 
 
@@ -316,11 +315,21 @@ class Accelerator(ABC):
 
     # -- functional simulation ------------------------------------------------------
 
-    def simulate(self, lowered_graph, program, inputs=None, params=None, state=None):
-        """Run the program functionally and return (result, PerfStats)."""
-        result = Executor(lowered_graph).run(
-            inputs=inputs, params=params, state=state
+    def simulate(self, lowered_graph, program, inputs=None, params=None,
+                 state=None, precision="f64", lattice_limit=None):
+        """Run the program functionally and return (result, PerfStats).
+
+        Execution goes through the shared per-graph
+        :class:`~repro.srdfg.plan.ExecutionPlan`: simulating the same
+        lowered graph repeatedly plans it once.
+        """
+        from ..srdfg.plan import PlanConfig, plan_for_graph
+
+        plan = plan_for_graph(
+            lowered_graph,
+            config=PlanConfig(precision=precision, lattice_limit=lattice_limit),
         )
+        result = plan.execute(inputs=inputs, params=params, state=state)
         return result, self.estimate(program)
 
     def __repr__(self):

@@ -153,6 +153,25 @@ class CompiledApplication:
         }
         return dataclasses.replace(self, accelerators=bound)
 
+    def execution_plan(self, precision="f64", lattice_limit=None,
+                       enable_einsum=True):
+        """The shared :class:`~repro.srdfg.plan.ExecutionPlan` for this app.
+
+        Memoised per graph instance (through
+        :func:`~repro.srdfg.plan.plan_for_graph`), so every ``run`` of this
+        application — and the HostManager's retry/host-fallback path, and
+        hint-bound copies from :meth:`with_hints`, which share the graph —
+        reuses one plan per configuration.
+        """
+        from ..srdfg.plan import PlanConfig, plan_for_graph
+
+        config = PlanConfig(
+            precision=precision,
+            lattice_limit=lattice_limit,
+            enable_einsum=enable_einsum,
+        )
+        return plan_for_graph(self.graph, config=config)
+
     def run(
         self,
         inputs=None,
@@ -163,12 +182,19 @@ class CompiledApplication:
         fault_plan=None,
         hints=None,
         accelerated_domains=None,
+        precision="f64",
+        lattice_limit=None,
     ):
         """Execute functionally; returns (ExecutionResult, PerfStats).
 
         Performance composes sequentially across fragments, charging each
         domain's fragments to its own accelerator and cross-domain
         load/store fragments to the DMA model (§V-A3's host-managed DMA).
+        Execution reuses the application's shared
+        :class:`~repro.srdfg.plan.ExecutionPlan` (see
+        :meth:`execution_plan`): the graph is planned once, then every
+        step only binds data. *precision*/*lattice_limit* select the plan
+        configuration and are honoured on both execution paths.
 
         Passing any of *runtime* (a :class:`~repro.runtime.HostManager`),
         *policy* (a :class:`~repro.runtime.RecoveryPolicy`), or
@@ -179,8 +205,6 @@ class CompiledApplication:
         :class:`~repro.runtime.RunReport` (whose ``result`` carries the
         functional outputs).
         """
-        from ..srdfg.interpreter import Executor
-
         if runtime is not None or policy is not None or fault_plan is not None:
             from ..runtime import HostManager
 
@@ -193,9 +217,14 @@ class CompiledApplication:
                 fault_plan=fault_plan,
                 hints=hints,
                 accelerated_domains=accelerated_domains,
+                precision=precision,
+                lattice_limit=lattice_limit,
             )
 
-        result = Executor(self.graph).run(inputs=inputs, params=params, state=state)
+        plan = self.execution_plan(
+            precision=precision, lattice_limit=lattice_limit
+        )
+        result = plan.execute(inputs=inputs, params=params, state=state)
         total = PerfStats()
         per_domain = {}
         for domain, program in self.programs.items():

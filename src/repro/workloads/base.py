@@ -120,13 +120,28 @@ class Workload:
     def build_graph(self):
         return build(self.source(), domain=self.domain)
 
+    def cached_graph(self):
+        """The workload's srDFG, built once per workload instance.
+
+        Combined with the per-graph execution-plan memo this means a
+        workload's reference driver plans its program exactly once, no
+        matter how many validation or chaos runs reuse the instance.
+        """
+        graph = getattr(self, "_graph", None)
+        if graph is None:
+            graph = self.build_graph()
+            self._graph = graph
+        return graph
+
     def run_functional(self, graph=None, steps=None):
         """Execute the program for *steps* invocations, threading state.
 
-        Returns the list of ExecutionResults.
+        Returns the list of ExecutionResults. All steps share one
+        execution plan (the Executor plans lazily on the first step and
+        reuses the plan after that).
         """
         if graph is None:
-            graph = self.build_graph()
+            graph = self.cached_graph()
         executor = Executor(graph)
         state = {
             key: np.asarray(value)
