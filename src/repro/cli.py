@@ -11,6 +11,7 @@ Usage (``python -m repro <command>``)::
     python -m repro figures [fig7 ...]       # regenerate figures
     python -m repro report                   # everything
     python -m repro chaos BrainStimul --inject crash@DA   # fault-tolerant runtime
+    python -m repro serve --requests 32 --workers 4       # concurrent service
 """
 
 from __future__ import annotations
@@ -71,6 +72,19 @@ def _cmd_compile(args):
     return 0
 
 
+def _emit_json(payload, destination):
+    """Write *payload* as JSON to ``-`` (stdout) or a path."""
+    import json
+
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if destination == "-":
+        print(text)
+    else:
+        with open(destination, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote JSON report to {destination}")
+
+
 def _cmd_stats(args):
     from .errors import PolyMathError
 
@@ -94,7 +108,10 @@ def _cmd_stats(args):
             # which the report below renders with source locations.
             failed = True
             break
-    print(session.stats_report())
+    if args.json:
+        _emit_json(session.stats_dict(), args.json)
+    else:
+        print(session.stats_report())
     return 1 if failed else 0
 
 
@@ -117,7 +134,10 @@ def _stats_workload(args):
     session = harness.session
     plan = session.plan_for(app, precision=args.precision)
 
-    before = PLAN_STATS.snapshot()
+    # The CLI owns the process: reset the global counters after planning
+    # so the assertion below reads absolute values (anything planned
+    # during execution shows up directly) instead of ad-hoc deltas.
+    PLAN_STATS.reset()
     steps = max(0, args.execute)
     state = {
         key: np.asarray(value)
@@ -132,13 +152,15 @@ def _stats_workload(args):
         )
         state = result.state
         previous = result
-    after = PLAN_STATS.snapshot()
 
-    print(session.stats_report())
+    if args.json:
+        _emit_json(session.stats_dict(), args.json)
+    else:
+        print(session.stats_report())
 
     if args.assert_plan_reuse:
         problems = []
-        rebuilt = after.statements_planned - before.statements_planned
+        rebuilt = PLAN_STATS.snapshot().statements_planned
         if rebuilt:
             problems.append(
                 f"{rebuilt} statement plan(s) built during execution "
@@ -337,6 +359,87 @@ def _cmd_chaos(args):
     return status
 
 
+def _cmd_serve(args):
+    """Run the concurrent compile-and-execute service on a synthetic trace."""
+    from .serve import Server, replay, run_serial, synth_trace
+    from .srdfg.plan import PLAN_STATS
+
+    workloads = tuple(
+        name.strip() for name in args.workloads.split(",") if name.strip()
+    )
+    if not workloads:
+        print("serve: --workloads must name at least one workload",
+              file=sys.stderr)
+        return 2
+    trace = synth_trace(
+        requests=args.requests,
+        workloads=workloads,
+        seed=args.seed,
+        max_steps=args.max_steps,
+        precision=args.precision,
+    )
+
+    PLAN_STATS.reset()
+    server = Server(
+        workers=args.workers,
+        queue_capacity=args.queue_depth,
+        emulate_device=args.emulate_device,
+    )
+    with server:
+        responses, backpressure_retries = replay(server, trace)
+    report = server.report()
+
+    print(report.render())
+    if backpressure_retries:
+        print(f"  backpressure: {backpressure_retries} retried submission(s)")
+
+    status = 0
+    failures = [r for r in responses if r is not None and not r.ok]
+    if failures:
+        status = 1
+        for response in failures:
+            print(
+                f"request {response.request.request_id} "
+                f"({response.request.describe()}) failed: {response.error}",
+                file=sys.stderr,
+            )
+
+    if args.compare_serial:
+        serial, _ = run_serial(trace)
+        mismatched = [
+            concurrent.request.describe()
+            for concurrent, reference in zip(responses, serial)
+            if concurrent is not None
+            and concurrent.signature != reference.signature
+        ]
+        if mismatched:
+            status = 1
+            print(
+                f"serial-comparison MISMATCH for: {', '.join(mismatched)}",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"  outputs bit-identical to the serial run "
+                f"({len(serial)} request(s))"
+            )
+
+    if args.assert_plan_reuse and not report.plan_reuse_ok:
+        status = 1
+        print(
+            "plan-reuse assertion FAILED: "
+            f"{report.plans_built} graph plan(s) / "
+            f"{report.statements_planned} statement plan(s) built, expected "
+            f"{report.expected_plans} / {report.expected_statements} for "
+            f"{report.distinct_configs} distinct configuration(s)",
+            file=sys.stderr,
+        )
+
+    if args.json:
+        _emit_json(report.to_dict(), args.json)
+    return status
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -398,7 +501,75 @@ def build_parser():
         help="exit nonzero unless each statement plan was built exactly "
         "once and executed once per step (counter-based)",
     )
+    stats.add_argument(
+        "--json",
+        metavar="PATH",
+        help="dump the session stats / plan report as JSON (- for stdout)",
+    )
     stats.set_defaults(func=_cmd_stats)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the concurrent compile-and-execute service on a "
+        "synthetic mixed-workload trace",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=32, help="trace length (default 32)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="worker threads (default 4)"
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="admission-queue capacity before backpressure (default 16)",
+    )
+    serve.add_argument(
+        "--workloads",
+        default="MobileRobot,ElecUse,FFT-8192,DCT-1024",
+        metavar="A,B,...",
+        help="comma-separated workload mix",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="trace RNG seed")
+    serve.add_argument(
+        "--max-steps",
+        type=int,
+        default=4,
+        help="max invocations per request (default 4)",
+    )
+    serve.add_argument(
+        "--precision",
+        default="f64",
+        choices=("f64", "f32"),
+        help="execution-plan float precision (default f64)",
+    )
+    serve.add_argument(
+        "--emulate-device",
+        type=float,
+        default=0.0,
+        metavar="SCALE",
+        help="sleep SCALE x the cost model's accelerator seconds per "
+        "invocation, emulating device occupancy (0 disables)",
+    )
+    serve.add_argument(
+        "--assert-plan-reuse",
+        action="store_true",
+        help="exit nonzero unless graph/statement plans were built exactly "
+        "once per distinct (workload, precision) pair (counter-based)",
+    )
+    serve.add_argument(
+        "--compare-serial",
+        action="store_true",
+        help="also run the trace serially and verify outputs are "
+        "bit-identical to the concurrent run",
+    )
+    serve.add_argument(
+        "--json",
+        metavar="PATH",
+        help="dump the ServeReport as JSON (- for stdout)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     profile = sub.add_parser("profile", help="per-fragment cost profile")
     profile.add_argument("source", help="PMLang file path (- for stdin)")

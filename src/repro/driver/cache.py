@@ -18,7 +18,9 @@ reported through the session's diagnostics — never raised out of ``get``.
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional
@@ -61,9 +63,28 @@ def accelerator_fingerprint(accelerators):
     return fingerprint(*parts)
 
 
+#: Counter attribute names, in render order.
+_STAT_FIELDS = (
+    "hits",
+    "misses",
+    "stores",
+    "disk_hits",
+    "disk_errors",
+    "plan_hits",
+    "plan_misses",
+    "plan_stores",
+)
+
+
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one cache instance."""
+    """Hit/miss accounting for one cache instance.
+
+    Counters advance through :meth:`bump` under an internal lock — the
+    serving layer's workers share one cache — and reads for reporting go
+    through :meth:`snapshot`/:meth:`to_dict`; :meth:`reset` lets CLI entry
+    points start from zero instead of tracking deltas.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -73,6 +94,32 @@ class CacheStats:
     plan_hits: int = 0
     plan_misses: int = 0
     plan_stores: int = 0
+
+    def __post_init__(self):
+        self._lock = threading.Lock()
+
+    def bump(self, **deltas):
+        with self._lock:
+            for name, delta in deltas.items():
+                if name not in _STAT_FIELDS:
+                    raise AttributeError(f"unknown cache counter {name!r}")
+                setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self):
+        with self._lock:
+            return CacheStats(
+                **{name: getattr(self, name) for name in _STAT_FIELDS}
+            )
+
+    def reset(self):
+        with self._lock:
+            for name in _STAT_FIELDS:
+                setattr(self, name, 0)
+        return self
+
+    def to_dict(self):
+        with self._lock:
+            return {name: getattr(self, name) for name in _STAT_FIELDS}
 
     def render(self):
         line = f"{self.hits} hit(s) / {self.misses} miss(es), {self.stores} store(s)"
@@ -88,7 +135,14 @@ class CacheStats:
 
 @dataclass
 class ArtifactCache:
-    """Two-tier (memory, optional disk) cache keyed by content hash."""
+    """Two-tier (memory, optional disk) cache keyed by content hash.
+
+    Thread-safe: one cache instance is shared by every worker of the
+    serving layer. Tier dictionaries and stats mutate under an internal
+    RLock, and disk entries are written via temp-file + ``os.replace`` so
+    a concurrent reader (same process or another one sharing the
+    directory) can never observe a truncated pickle.
+    """
 
     cache_dir: Optional[str] = None
     stats: CacheStats = field(default_factory=CacheStats)
@@ -100,6 +154,9 @@ class ArtifactCache:
     #: Memory-only: plans hold live numpy closures and weak graph refs,
     #: so they are cheap to rebuild but pointless to pickle.
     _plans: Dict[str, object] = field(default_factory=dict)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def __post_init__(self):
         if self.cache_dir is not None:
@@ -120,34 +177,34 @@ class ArtifactCache:
         is evicted (best effort) and reported, and the compile simply
         re-runs. No disk-tier failure ever escapes this method.
         """
-        if key in self._memory:
-            self.stats.hits += 1
-            return self._memory[key]
-        if self.cache_dir is not None:
-            try:
-                path = self._path(key)
-                exists = path.exists()
-            except OSError:
-                self.stats.disk_errors += 1
-                exists = False
-            if exists:
+        with self._lock:
+            if key in self._memory:
+                self.stats.bump(hits=1)
+                return self._memory[key]
+            if self.cache_dir is not None:
                 try:
-                    with open(path, "rb") as handle:
-                        artifact = pickle.load(handle)
-                except Exception as exc:
-                    self.stats.disk_errors += 1
-                    self._evict_disk(key)
-                    self._warn(
-                        f"evicted corrupt disk cache entry {key[:12]}… "
-                        f"({type(exc).__name__}); treating as a miss"
-                    )
-                else:
-                    self._memory[key] = artifact
-                    self.stats.hits += 1
-                    self.stats.disk_hits += 1
-                    return artifact
-        self.stats.misses += 1
-        return None
+                    path = self._path(key)
+                    exists = path.exists()
+                except OSError:
+                    self.stats.bump(disk_errors=1)
+                    exists = False
+                if exists:
+                    try:
+                        with open(path, "rb") as handle:
+                            artifact = pickle.load(handle)
+                    except Exception as exc:
+                        self.stats.bump(disk_errors=1)
+                        self._evict_disk(key)
+                        self._warn(
+                            f"evicted corrupt disk cache entry {key[:12]}… "
+                            f"({type(exc).__name__}); treating as a miss"
+                        )
+                    else:
+                        self._memory[key] = artifact
+                        self.stats.bump(hits=1, disk_hits=1)
+                        return artifact
+            self.stats.bump(misses=1)
+            return None
 
     def _evict_disk(self, key):
         try:
@@ -156,25 +213,48 @@ class ArtifactCache:
             pass
 
     def put(self, key, artifact):
-        self._memory[key] = artifact
-        self.stats.stores += 1
-        if self.cache_dir is not None:
+        with self._lock:
+            self._memory[key] = artifact
+            self.stats.bump(stores=1)
+            if self.cache_dir is not None:
+                try:
+                    payload = pickle.dumps(artifact)
+                except Exception:
+                    # Unpicklable artifacts (exotic user extensions) stay
+                    # memory-resident; the session reports this as a warning.
+                    self.stats.bump(disk_errors=1)
+                    return False
+                self._write_disk(key, payload)
+            return True
+
+    def _write_disk(self, key, payload):
+        """Atomically publish *payload* at the key's path.
+
+        Write-to-temp + ``os.replace`` means a reader racing this write
+        sees either the complete old entry or the complete new one, never
+        a truncated pickle — so the corrupt-evict path in :meth:`get`
+        only ever fires for genuine disk corruption, not for in-progress
+        writes by a sibling process.
+        """
+        path = self._path(key)
+        tmp = path.with_name(
+            f".{key}.{os.getpid()}-{threading.get_ident()}.tmp"
+        )
+        try:
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)
+        except OSError as exc:
+            # A full/read-only disk degrades to the memory tier.
+            self.stats.bump(disk_errors=1)
+            self._warn(
+                f"disk cache write failed for {key[:12]}… "
+                f"({type(exc).__name__}); entry is memory-only"
+            )
             try:
-                payload = pickle.dumps(artifact)
-            except Exception:
-                # Unpicklable artifacts (exotic user extensions) stay
-                # memory-resident; the session reports this as a warning.
-                self.stats.disk_errors += 1
-                return False
-            try:
-                self._path(key).write_bytes(payload)
-            except OSError as exc:
-                # A full/read-only disk degrades to the memory tier.
-                self.stats.disk_errors += 1
-                self._warn(
-                    f"disk cache write failed for {key[:12]}… "
-                    f"({type(exc).__name__}); entry is memory-only"
-                )
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
         return True
 
     # -- execution-plan tier -----------------------------------------------
@@ -187,24 +267,29 @@ class ArtifactCache:
         a structurally identical graph still hits this tier and skips
         planning entirely.
         """
-        plan = self._plans.get(key)
-        if plan is None:
-            self.stats.plan_misses += 1
-            return None
-        self.stats.plan_hits += 1
-        return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.stats.bump(plan_misses=1)
+                return None
+            self.stats.bump(plan_hits=1)
+            return plan
 
     def plan_put(self, key, plan):
-        self._plans[key] = plan
-        self.stats.plan_stores += 1
+        with self._lock:
+            self._plans[key] = plan
+            self.stats.bump(plan_stores=1)
         return True
 
     def clear(self):
-        self._memory.clear()
-        self._plans.clear()
+        with self._lock:
+            self._memory.clear()
+            self._plans.clear()
 
     def __len__(self):
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def __contains__(self, key):
-        return key in self._memory
+        with self._lock:
+            return key in self._memory

@@ -23,6 +23,7 @@ cross-workload hint-leak the old harness had.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List
@@ -41,6 +42,22 @@ STAGES = ("parse", "semantic", "srdfg-build", "optimize", "lower", "translate")
 
 #: Stage name recorded when a compile is served from the artifact cache.
 CACHE_HIT_STAGE = "cache-hit"
+
+#: Stage name recorded when a compile (or plan) awaited an identical
+#: in-flight request instead of running itself.
+COALESCED_STAGE = "coalesced"
+
+
+class _InFlight:
+    """One in-flight compile/plan: followers wait on ``event`` and then
+    take ``artifact`` (or re-raise ``error``)."""
+
+    __slots__ = ("event", "artifact", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.artifact = None
+        self.error = None
 
 
 @dataclass
@@ -116,11 +133,22 @@ class CompilerSession:
             self.cache.diagnostics = self.diagnostics
         self.records: List[StageRecord] = []
         self.compiles = 0
+        #: Compiles/plans that awaited an identical in-flight request.
+        self.coalesced = 0
         self._stage_hooks: List[Callable] = []
         #: ExecutionPlans obtained through :meth:`plan_for`, in order —
         #: kept alive for the session report (plans hold only weak graph
         #: references, so this does not pin compiled graphs).
         self.plans: List[object] = []
+        # One session serves many worker threads in the serving layer:
+        # the record stream and counters mutate under _state_lock, and
+        # identical concurrent compiles/plans coalesce through the
+        # in-flight tables (single-flight: first requester runs the
+        # stages, the rest await its artifact).
+        self._state_lock = threading.RLock()
+        self._inflight_lock = threading.Lock()
+        self._inflight_compiles: Dict[str, _InFlight] = {}
+        self._inflight_plans: Dict[str, _InFlight] = {}
 
     # -- hooks ---------------------------------------------------------------
 
@@ -132,10 +160,27 @@ class CompilerSession:
         return self
 
     def _record(self, record):
-        self.records.append(record)
-        for hook in self._stage_hooks:
+        with self._state_lock:
+            self.records.append(record)
+            hooks = list(self._stage_hooks)
+        for hook in hooks:
             hook(record)
         return record
+
+    def _begin_flight(self, table, key):
+        """Register for single-flight on *key*; returns (flight, leader)."""
+        with self._inflight_lock:
+            flight = table.get(key)
+            leader = flight is None
+            if leader:
+                flight = _InFlight()
+                table[key] = flight
+        return flight, leader
+
+    def _end_flight(self, table, key, flight):
+        with self._inflight_lock:
+            table.pop(key, None)
+        flight.event.set()
 
     # -- cache key -----------------------------------------------------------
 
@@ -226,8 +271,34 @@ class CompilerSession:
         instances are never mutated, and hints never alias across cached
         compiles of different workloads.
         """
-        from ..targets.compiler import retag_component_domain
+        app, _ = self.compile_traced(
+            source,
+            entry=entry,
+            domain=domain,
+            component_domains=component_domains,
+            accelerators=accelerators,
+            data_hints=data_hints,
+        )
+        return app
 
+    def compile_traced(
+        self,
+        source,
+        entry="main",
+        domain=None,
+        component_domains=None,
+        accelerators=None,
+        data_hints=None,
+    ):
+        """:meth:`compile` plus provenance: ``(app, "built"|"cache"|"coalesced")``.
+
+        The serving layer uses the provenance to attribute each request's
+        compile cost: ``built`` ran the stages, ``cache`` was an artifact
+        cache hit, and ``coalesced`` awaited an identical in-flight
+        compile from another worker (single-flight deduplication — the
+        second requester never re-parses, it blocks until the first
+        requester's artifact is ready and shares it).
+        """
         accelerators = (
             dict(accelerators) if accelerators is not None else self.accelerators
         )
@@ -241,7 +312,8 @@ class CompilerSession:
             source, entry, domain, component_domains, accelerators, pipeline
         )
 
-        self.compiles += 1
+        with self._state_lock:
+            self.compiles += 1
         start = time.perf_counter()
         artifact = self.cache.get(key)
         if artifact is not None:
@@ -253,7 +325,43 @@ class CompilerSession:
                     detail=f"key {key[:12]}",
                 )
             )
-            return artifact.with_hints(data_hints)
+            return artifact.with_hints(data_hints), "cache"
+
+        flight, leader = self._begin_flight(self._inflight_compiles, key)
+        if not leader:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            with self._state_lock:
+                self.coalesced += 1
+            self._record(
+                StageRecord(
+                    stage=COALESCED_STAGE,
+                    seconds=time.perf_counter() - start,
+                    cached=True,
+                    detail=f"awaited in-flight compile {key[:12]}",
+                )
+            )
+            return flight.artifact.with_hints(data_hints), "coalesced"
+        try:
+            artifact = self._compile_stages(
+                source, entry, domain, component_domains, accelerators,
+                pipeline, key,
+            )
+            flight.artifact = artifact
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            self._end_flight(self._inflight_compiles, key, flight)
+        return artifact.with_hints(data_hints), "built"
+
+    def _compile_stages(
+        self, source, entry, domain, component_domains, accelerators,
+        pipeline, key,
+    ):
+        """Run the six stages for one uncached compile; returns the artifact."""
+        from ..targets.compiler import retag_component_domain
 
         # parse: PMLang text -> AST.
         program, parse_record = self._run_stage("parse", lambda: parse(source))
@@ -348,7 +456,7 @@ class CompilerSession:
                 "compiled artifact is not picklable; cached in memory only",
                 stage="translate",
             )
-        return artifact.with_hints(data_hints)
+        return artifact
 
     # -- execution plans --------------------------------------------------------
 
@@ -362,6 +470,21 @@ class CompilerSession:
         skips planning entirely. Each lookup is recorded as a ``plan``
         stage; hits carry ``cached=True``, like compile cache hits do.
         """
+        plan, _ = self.plan_for_traced(
+            app,
+            precision=precision,
+            lattice_limit=lattice_limit,
+            enable_einsum=enable_einsum,
+        )
+        return plan
+
+    def plan_for_traced(self, app, precision="f64", lattice_limit=None,
+                        enable_einsum=True):
+        """:meth:`plan_for` plus provenance: ``(plan, "built"|"cache"|"coalesced")``.
+
+        Identical concurrent plan requests coalesce exactly like compiles
+        do: one worker builds, the rest await the finished plan.
+        """
         from ..srdfg.plan import PlanConfig, memoize_plan, plan_cache_key, plan_for_graph
 
         config = PlanConfig(
@@ -372,37 +495,61 @@ class CompilerSession:
         start = time.perf_counter()
         key = plan_cache_key(app.graph, config)
         plan = self.cache.plan_get(key)
-        cached = plan is not None
-        if cached:
+        provenance = "cache"
+        if plan is not None:
             # Seed the per-instance memo so Executor(app.graph) and every
             # other direct consumer of this graph reuses the cached plan.
             memoize_plan(app.graph, plan)
         else:
-            plan = plan_for_graph(
-                app.graph, config=config, diagnostics=self.diagnostics
-            )
-            self.cache.plan_put(key, plan)
+            flight, leader = self._begin_flight(self._inflight_plans, key)
+            if not leader:
+                flight.event.wait()
+                if flight.error is not None:
+                    raise flight.error
+                plan = flight.artifact
+                memoize_plan(app.graph, plan)
+                with self._state_lock:
+                    self.coalesced += 1
+                provenance = "coalesced"
+            else:
+                try:
+                    plan = plan_for_graph(
+                        app.graph, config=config, diagnostics=self.diagnostics
+                    )
+                    self.cache.plan_put(key, plan)
+                    flight.artifact = plan
+                except BaseException as exc:
+                    flight.error = exc
+                    raise
+                finally:
+                    self._end_flight(self._inflight_plans, key, flight)
+                provenance = "built"
         self._record(
             StageRecord(
                 stage="plan",
                 seconds=time.perf_counter() - start,
-                cached=cached,
+                cached=provenance != "built",
                 detail=(
                     f"{plan.statement_count} statement plan(s), "
                     f"key {key[:12]}"
                 ),
             )
         )
-        if plan not in self.plans:
-            self.plans.append(plan)
-        return plan
+        with self._state_lock:
+            if plan not in self.plans:
+                self.plans.append(plan)
+        return plan, provenance
 
     # -- reporting -------------------------------------------------------------
+
+    def _records_snapshot(self):
+        with self._state_lock:
+            return list(self.records)
 
     def stage_executions(self, stage=None):
         """``{stage: count}`` of recorded executions, or one stage's count."""
         tally: Dict[str, int] = {}
-        for record in self.records:
+        for record in self._records_snapshot():
             tally[record.stage] = tally.get(record.stage, 0) + 1
         if stage is not None:
             return tally.get(stage, 0)
@@ -411,16 +558,74 @@ class CompilerSession:
     def stage_totals(self):
         """``{stage: total seconds}`` across every recorded execution."""
         totals: Dict[str, float] = {}
-        for record in self.records:
+        for record in self._records_snapshot():
             totals[record.stage] = totals.get(record.stage, 0.0) + record.seconds
         return totals
 
+    def stats_dict(self):
+        """Machine-readable session report (the ``--json`` twin of
+        :meth:`stats_report`).
+
+        Consumed by ``repro stats --json``, the serve report, and the
+        load generator — which previously would have had to scrape the
+        rendered text.
+        """
+        records = self._records_snapshot()
+        executions: Dict[str, int] = {}
+        seconds: Dict[str, float] = {}
+        for record in records:
+            executions[record.stage] = executions.get(record.stage, 0) + 1
+            seconds[record.stage] = (
+                seconds.get(record.stage, 0.0) + record.seconds
+            )
+        with self._state_lock:
+            compiles = self.compiles
+            coalesced = self.coalesced
+            plans = list(self.plans)
+        counts = self.diagnostics.counts()
+        return {
+            "compiles": compiles,
+            "coalesced": coalesced,
+            "stage_executions": executions,
+            "stage_seconds": seconds,
+            "cache": self.cache.stats.to_dict(),
+            "plans": [
+                {
+                    "graph": plan.graph_name,
+                    "config": plan.config.describe(),
+                    "build_seconds": plan.counters.build_seconds,
+                    "executions": plan.counters.executions,
+                    "statement_count": plan.statement_count,
+                    "statements": [
+                        {
+                            "label": label,
+                            "path": path,
+                            "built": built,
+                            "executions": execs,
+                            "first_seconds": first,
+                            "steady_seconds": steady,
+                        }
+                        for label, path, built, execs, first, steady
+                        in plan.stats_rows()
+                    ],
+                }
+                for plan in plans
+            ],
+            "diagnostics": dict(counts),
+        }
+
     def stats_report(self):
         """Human-readable session report: stages, timings, cache, diagnostics."""
-        lines = [
-            f"compiler session: {self.compiles} compile(s), "
-            f"{len(self.records)} stage execution(s)"
-        ]
+        records = self._records_snapshot()
+        with self._state_lock:
+            compiles = self.compiles
+            coalesced = self.coalesced
+            plans = list(self.plans)
+        header = f"compiler session: {compiles} compile(s)"
+        if coalesced:
+            header += f" ({coalesced} coalesced)"
+        header += f", {len(records)} stage execution(s)"
+        lines = [header]
         lines.append(f"cache: {self.cache.stats.render()}")
         lines.append("")
         lines.append(
@@ -429,10 +634,10 @@ class CompilerSession:
         executions = self.stage_executions()
         totals = self.stage_totals()
         deltas: Dict[str, StageRecord] = {}
-        for record in self.records:
+        for record in records:
             deltas[record.stage] = record  # last execution wins for deltas
         ordered = []
-        for stage in (CACHE_HIT_STAGE,) + STAGES:
+        for stage in (CACHE_HIT_STAGE, COALESCED_STAGE) + STAGES:
             if stage in totals:
                 ordered.append(stage)
             sub_prefix = f"{stage}/"
@@ -454,7 +659,7 @@ class CompilerSession:
                 f"{stage:28s} {totals[stage] * 1e3:9.3f} ms  "
                 f"{executions[stage]:10d}  {delta}".rstrip()
             )
-        for plan in self.plans:
+        for plan in plans:
             lines.append("")
             lines.append(plan.render_stats())
         counts = self.diagnostics.counts()

@@ -68,6 +68,23 @@ class WorkloadError(PolyMathError):
     """A workload was misconfigured or asked for an unknown benchmark."""
 
 
+class ServeError(PolyMathError):
+    """The serving layer rejected or failed a request."""
+
+
+class QueueFullError(ServeError):
+    """Admission queue at capacity: explicit backpressure.
+
+    Carries ``retry_after`` (seconds), the server's estimate of when a
+    slot frees up (queue depth x recent mean service time / workers), so
+    well-behaved clients back off instead of hammering the queue.
+    """
+
+    def __init__(self, message, retry_after=0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class RuntimeFailure(PolyMathError):
     """The fault-tolerant runtime exhausted its recovery options.
 

@@ -38,7 +38,7 @@ from ..driver.diagnostics import Diagnostics
 from ..errors import RuntimeFailure
 from ..hw.cost import PerfStats
 from ..hw.soc import HOST_DMA_DISPATCH_S, SoCRuntime
-from .faults import CRASH, DMA_CORRUPT, FaultPlan, Site, TIMEOUT_FAULTS, TRANSIENT
+from .faults import CRASH, DMA_CORRUPT, FaultPlan, Site, TIMEOUT_FAULTS
 from .policy import RecoveryPolicy
 from .report import (
     ABORT,
@@ -202,6 +202,7 @@ class HostManager:
         raise_on_failure=True,
         precision="f64",
         lattice_limit=None,
+        policy=None,
     ):
         """Execute *compiled* under faults; returns :class:`RunReport`.
 
@@ -220,6 +221,10 @@ class HostManager:
         not just by coincidence of both paths defaulting to f64. The plan
         itself is shared through the per-graph memo, so retries and
         repeated chaos steps never replan.
+
+        *policy* overrides the manager's :class:`RecoveryPolicy` for this
+        run only — the serving layer threads each request's own retry/
+        fallback budget through one shared manager without mutating it.
         """
         hints = dict(hints or {})
         if accelerated_domains is None:
@@ -240,7 +245,10 @@ class HostManager:
             domain: "accel" if domain in accelerated_domains else "host"
             for domain in compiled.programs
         }
-        run_state = _RunState(report=report, active=active, soc=soc)
+        run_state = _RunState(
+            report=report, active=active, soc=soc,
+            policy=policy or self.policy,
+        )
         stages = self._stage_plan(compiled)
 
         ok = True
@@ -365,7 +373,7 @@ class HostManager:
 
     def _run_unit(self, compiled, stage, unit, placement, hints, run_state):
         report = run_state.report
-        policy = self.policy
+        policy = run_state.policy or self.policy
         where = placement[stage.domain]
 
         if unit.kind == "handoff":
@@ -509,7 +517,7 @@ class HostManager:
                     f"accelerator for {stage.domain} marked unhealthy: crash",
                     stage="runtime",
                 )
-                if self.policy.host_fallback:
+                if policy.host_fallback:
                     return "degrade"
                 self._abort(
                     run_state,
@@ -613,6 +621,8 @@ class _RunState:
     active: object
     soc: object = None
     clock: float = 0.0
+    #: Per-run RecoveryPolicy override (None -> the manager's policy).
+    policy: object = None
     completed_stages: set = field(default_factory=set)
     checkpoints: _CheckpointStore = field(default_factory=_CheckpointStore)
 

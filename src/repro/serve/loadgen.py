@@ -1,0 +1,122 @@
+"""Synthetic load generation and trace replay for the serving layer.
+
+``synth_trace`` builds a deterministic mixed-workload request trace (the
+same seed always yields the same trace, so concurrent runs can be
+compared bit-for-bit against serial references); ``replay`` pushes a
+trace through a running :class:`~repro.serve.server.Server`, honouring
+backpressure by waiting out ``retry_after`` hints; ``run_serial``
+executes the same trace one-request-at-a-time on a fresh single-worker
+server — the baseline for both the bit-identity checks and the
+throughput-scaling benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import List, Optional
+
+from ..errors import QueueFullError
+from .request import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    Request,
+)
+
+#: The default mixed trace: control (MPC), data analytics (linear
+#: regression), and two DSP transforms — four distinct compile+plan
+#: configurations with per-invocation costs light enough for CI smoke.
+DEFAULT_MIX = ("MobileRobot", "ElecUse", "FFT-8192", "DCT-1024")
+
+
+def synth_trace(
+    requests=32,
+    workloads=DEFAULT_MIX,
+    seed=0,
+    max_steps=4,
+    precision="f64",
+):
+    """A deterministic mixed-workload trace of *requests* requests.
+
+    Workloads round-robin with jitter, step counts and priorities draw
+    from a seeded RNG: roughly 70% normal / 15% high / 15% low priority,
+    1..*max_steps* invocations each.
+    """
+    if not workloads:
+        raise ValueError("synth_trace needs at least one workload")
+    rng = random.Random(seed)
+    trace: List[Request] = []
+    for index in range(requests):
+        draw = rng.random()
+        if draw < 0.15:
+            priority = PRIORITY_HIGH
+        elif draw < 0.30:
+            priority = PRIORITY_LOW
+        else:
+            priority = PRIORITY_NORMAL
+        trace.append(
+            Request(
+                workload=workloads[rng.randrange(len(workloads))],
+                steps=rng.randint(1, max(1, max_steps)),
+                precision=precision,
+                priority=priority,
+            )
+        )
+    return trace
+
+
+def replay(server, trace, retry=True, timeout=120.0):
+    """Replay *trace* on a started *server*; returns (responses, retries).
+
+    Responses come back in trace order. A :class:`QueueFullError` is
+    handled the way a well-behaved client would: wait the server's
+    ``retry_after`` hint and resubmit (``retry=True``), or give up on
+    that request (``retry=False`` — it yields a None response slot).
+    """
+    tickets = []
+    backpressure_retries = 0
+    for request in trace:
+        while True:
+            try:
+                tickets.append(server.submit(request))
+                break
+            except QueueFullError as exc:
+                if not retry:
+                    tickets.append(None)
+                    break
+                backpressure_retries += 1
+                time.sleep(max(exc.retry_after, 0.001))
+    responses = [
+        ticket.wait(timeout=timeout) if ticket is not None else None
+        for ticket in tickets
+    ]
+    return responses, backpressure_retries
+
+
+def run_serial(
+    trace,
+    emulate_device=0.0,
+    session=None,
+    timeout: Optional[float] = 120.0,
+):
+    """Execute *trace* strictly one request at a time.
+
+    Uses a fresh single-worker server (same code path as the concurrent
+    run, so responses are directly comparable) and waits for each
+    response before submitting the next — the definition of a serial
+    baseline. Returns ``(responses, report)``.
+    """
+    from .server import Server
+
+    server = Server(
+        session=session,
+        workers=1,
+        queue_capacity=max(4, len(list(trace))),
+        emulate_device=emulate_device,
+    )
+    responses = []
+    with server:
+        for request in trace:
+            responses.append(server.request(request, timeout=timeout))
+    return responses, server.report()

@@ -1,0 +1,73 @@
+"""Worker pool draining the scheduler.
+
+Thread-backed today: execution plans, the artifact cache, and the
+compiler session are all shared in-process, and the workloads' heavy
+lifting (numpy kernels, emulated device occupancy) releases the GIL. The
+pool's surface is deliberately narrow — a handler callable, ``start``,
+``join`` — so a process-backed pool (serialized requests, per-process
+sessions warmed from the disk cache tier) can slot in behind the same
+:class:`~repro.serve.server.Server` later.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+
+
+class WorkerPool:
+    """N workers looping ``scheduler.next() -> handler(entry)``."""
+
+    def __init__(self, scheduler, handler, workers=4, name="serve"):
+        if workers < 1:
+            raise ValueError(f"worker pool needs >= 1 worker, got {workers}")
+        self.scheduler = scheduler
+        self.handler = handler
+        self.workers = workers
+        self.name = name
+        self._threads = []
+        self._started = False
+        #: Handler invocations that raised (the handler is expected to
+        #: catch request errors itself; anything landing here is a bug,
+        #: but it must never take the worker thread down with it).
+        self.handler_faults = 0
+        self._fault_lock = threading.Lock()
+
+    def _worker_loop(self, index):
+        while True:
+            entry = self.scheduler.next()
+            if entry is None:
+                return
+            try:
+                self.handler(entry, f"{self.name}-{index}")
+            except BaseException:
+                # A crashing request must not poison the pool: count it,
+                # keep the worker alive for the next request.
+                with self._fault_lock:
+                    self.handler_faults += 1
+                traceback.print_exc()
+
+    def start(self):
+        if self._started:
+            return self
+        self._started = True
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(index,),
+                name=f"{self.name}-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def join(self, timeout=None):
+        """Wait for every worker to exit (close the scheduler first)."""
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        return all(not thread.is_alive() for thread in self._threads)
+
+    @property
+    def alive(self):
+        return sum(1 for thread in self._threads if thread.is_alive())

@@ -1,0 +1,125 @@
+"""Requests and responses of the serving layer.
+
+A :class:`Request` names a workload and a target configuration (precision,
+fault-injection plan, recovery budget) plus how many invocations to run;
+the :class:`~repro.serve.server.Server` compiles it (coalescing with
+identical in-flight requests), plans it, executes it, and answers with a
+:class:`Response` carrying the final outputs, a content signature for
+cheap bit-identity comparison, and the request's
+:class:`~repro.serve.metrics.RequestMetrics`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: Priority levels: lower value dispatches first.
+PRIORITY_HIGH = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+PRIORITY_NAMES = {
+    PRIORITY_HIGH: "high",
+    PRIORITY_NORMAL: "normal",
+    PRIORITY_LOW: "low",
+}
+
+_REQUEST_IDS = itertools.count(1)
+
+
+@dataclass
+class Request:
+    """One unit of service: compile workload X for config Y, run N steps."""
+
+    workload: str
+    steps: int = 1
+    precision: str = "f64"
+    priority: int = PRIORITY_NORMAL
+    #: Fault specs (``kind[@domain][:p=][:at=][:n=]`` strings) — when
+    #: non-empty the request executes through the fault-tolerant
+    #: HostManager instead of the bare execution plan.
+    inject: Tuple[str, ...] = ()
+    #: Fault-plan RNG seed (only meaningful with ``inject``).
+    seed: int = 0
+    #: Per-request recovery budget (HostManager policy passthrough).
+    retries: int = 3
+    host_fallback: bool = True
+    #: Assigned at submission; unique within one server.
+    request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
+
+    def __post_init__(self):
+        if self.steps < 1:
+            raise ValueError(f"request needs >= 1 step, got {self.steps}")
+        self.inject = tuple(self.inject)
+
+    @property
+    def priority_name(self):
+        return PRIORITY_NAMES.get(self.priority, str(self.priority))
+
+    def describe(self):
+        tags = [self.workload, f"x{self.steps}", self.precision,
+                self.priority_name]
+        if self.inject:
+            tags.append("+".join(self.inject))
+        return " ".join(tags)
+
+    def config_key(self):
+        """What must match for two requests to share a compile + plan."""
+        return (self.workload, self.precision)
+
+
+def result_signature(outputs):
+    """sha256 over the outputs' names, dtypes, shapes, and exact bytes.
+
+    Two runs are bit-identical iff their signatures match — the serve
+    tests and ``bench_serve`` compare concurrent runs against serial
+    references this way without shipping arrays around.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(outputs):
+        array = np.ascontiguousarray(np.asarray(outputs[name]))
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(repr(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class Response:
+    """The server's answer to one request."""
+
+    request: Request
+    outputs: Dict[str, np.ndarray] = field(default_factory=dict)
+    state: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: sha256 of ``outputs`` (see :func:`result_signature`).
+    signature: str = ""
+    error: Optional[str] = None
+    error_kind: Optional[str] = None
+    metrics: Optional[object] = None
+
+    @property
+    def ok(self):
+        return self.error is None
+
+    def to_dict(self):
+        payload = {
+            "request_id": self.request.request_id,
+            "workload": self.request.workload,
+            "steps": self.request.steps,
+            "precision": self.request.precision,
+            "priority": self.request.priority_name,
+            "ok": self.ok,
+            "signature": self.signature,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+            payload["error_kind"] = self.error_kind
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics.to_dict()
+        return payload

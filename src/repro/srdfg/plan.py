@@ -45,9 +45,10 @@ that plans lazily through this function, which is why every existing
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 import weakref
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -128,14 +129,48 @@ class PlanStats:
     this object, runs a workload for N steps, and asserts the number of
     statement plans built equals the statement count — i.e. each plan was
     constructed exactly once regardless of N.
+
+    Counters are updated through :meth:`bump` under an internal lock, so
+    the serving layer's worker threads never lose increments; reads go
+    through :meth:`snapshot` (a consistent copy) and CLI entry points
+    start from :meth:`reset` instead of tracking ad-hoc deltas.
     """
 
     graphs_planned: int = 0
     statements_planned: int = 0
     executions: int = 0
 
+    def __post_init__(self):
+        self._lock = threading.Lock()
+
+    def bump(self, graphs_planned=0, statements_planned=0, executions=0):
+        with self._lock:
+            self.graphs_planned += graphs_planned
+            self.statements_planned += statements_planned
+            self.executions += executions
+
     def snapshot(self):
-        return replace(self)
+        with self._lock:
+            return PlanStats(
+                graphs_planned=self.graphs_planned,
+                statements_planned=self.statements_planned,
+                executions=self.executions,
+            )
+
+    def reset(self):
+        with self._lock:
+            self.graphs_planned = 0
+            self.statements_planned = 0
+            self.executions = 0
+        return self
+
+    def to_dict(self):
+        with self._lock:
+            return {
+                "graphs_planned": self.graphs_planned,
+                "statements_planned": self.statements_planned,
+                "executions": self.executions,
+            }
 
 
 #: Module-global planning counters.
@@ -294,6 +329,7 @@ class StatementPlan:
         "executions",
         "seconds",
         "first_seconds",
+        "_lock",
     )
 
     def __init__(
@@ -334,7 +370,8 @@ class StatementPlan:
         self.executions = 0
         self.seconds = 0.0
         self.first_seconds = None
-        PLAN_STATS.statements_planned += 1
+        self._lock = threading.Lock()
+        PLAN_STATS.bump(statements_planned=1)
 
     # -- execution ---------------------------------------------------------
 
@@ -386,11 +423,14 @@ class StatementPlan:
 
         result = self._store(raw, var_values)
         seconds = time.perf_counter() - start
-        self.executions += 1
-        self.seconds += seconds
-        if self.first_seconds is None:
-            self.first_seconds = seconds
-        PLAN_STATS.executions += 1
+        # Plans are shared across serving workers; counter updates must
+        # not lose increments (the reuse assertions are counter-based).
+        with self._lock:
+            self.executions += 1
+            self.seconds += seconds
+            if self.first_seconds is None:
+                self.first_seconds = seconds
+        PLAN_STATS.bump(executions=1)
         return result
 
     def _store(self, raw, var_values):
@@ -718,7 +758,8 @@ class ExecutionPlan:
         self.counters = PlanCounters(
             build_seconds=time.perf_counter() - start
         )
-        PLAN_STATS.graphs_planned += 1
+        self._counters_lock = threading.Lock()
+        PLAN_STATS.bump(graphs_planned=1)
         if diagnostics is not None:
             diagnostics.note(
                 f"built execution plan for {graph.name!r}: "
@@ -809,10 +850,11 @@ class ExecutionPlan:
                 result.state[name] = value
 
         seconds = time.perf_counter() - start
-        self.counters.executions += 1
-        self.counters.seconds += seconds
-        if self.counters.first_seconds is None:
-            self.counters.first_seconds = seconds
+        with self._counters_lock:
+            self.counters.executions += 1
+            self.counters.seconds += seconds
+            if self.counters.first_seconds is None:
+                self.counters.first_seconds = seconds
         return result
 
     # -- reporting ---------------------------------------------------------
@@ -823,6 +865,19 @@ class ExecutionPlan:
         total = len(self.statements)
         for _, sub_plan in self._components:
             total += sub_plan.statement_count
+        return total
+
+    @property
+    def graph_count(self):
+        """Recursive number of ExecutionPlans (this plan + component plans).
+
+        ``PLAN_STATS.graphs_planned`` advances by exactly this much when a
+        plan is built, which is what lets the serving layer assert — by
+        counters — that N coalesced requests planned each graph once.
+        """
+        total = 1
+        for _, sub_plan in self._components:
+            total += sub_plan.graph_count
         return total
 
     @property
@@ -894,6 +949,28 @@ def build_plan(graph, reductions=None, config=None, diagnostics=None):
 #: graph's lifetime.
 _PLAN_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
+#: Guards _PLAN_MEMO and _PLAN_PENDING — WeakKeyDictionary mutation is not
+#: thread-safe, and the serving layer plans from many worker threads.
+_MEMO_LOCK = threading.RLock()
+
+
+class _PendingPlan:
+    """In-flight plan build: followers wait instead of building again.
+
+    Holds a strong reference to the graph so its ``id`` stays valid as a
+    pending-table key for the duration of the build.
+    """
+
+    __slots__ = ("graph", "event")
+
+    def __init__(self, graph):
+        self.graph = graph
+        self.event = threading.Event()
+
+
+#: (id(graph), PlanConfig) -> _PendingPlan for builds currently running.
+_PLAN_PENDING: Dict[tuple, _PendingPlan] = {}
+
 
 def _own_reductions(graph, reductions):
     """True when *reductions* is the graph's own set (memoisation is safe)."""
@@ -910,7 +987,8 @@ def memoize_plan(graph, plan):
     built from a structurally identical graph, so subsequent
     ``Executor(graph)`` construction on *this* instance reuses it too.
     """
-    _PLAN_MEMO.setdefault(graph, {})[plan.config] = plan
+    with _MEMO_LOCK:
+        _PLAN_MEMO.setdefault(graph, {})[plan.config] = plan
     return plan
 
 
@@ -923,6 +1001,11 @@ def plan_for_graph(graph, reductions=None, config=None, registry=None,
     :class:`~repro.driver.cache.ArtifactCache` plan tier) keyed on the
     structural fingerprint, then builds. Custom *reductions* differing
     from the graph's own bypass sharing entirely.
+
+    Concurrent callers over one graph instance coalesce: the first caller
+    builds (outside the memo lock) while followers wait on the pending
+    entry and then return the very same plan — so ``plans_built == 1``
+    holds even when a serving worker pool floods one graph with requests.
     """
     config = config or PlanConfig()
     sharable = _own_reductions(graph, reductions)
@@ -930,20 +1013,44 @@ def plan_for_graph(graph, reductions=None, config=None, registry=None,
         return build_plan(
             graph, reductions=reductions, config=config, diagnostics=diagnostics
         )
-    memo = _PLAN_MEMO.setdefault(graph, {})
-    plan = memo.get(config)
-    if plan is not None:
-        return plan
-    if registry is not None:
-        key = plan_cache_key(graph, config)
-        plan = registry.plan_get(key)
-        if plan is None:
-            plan = build_plan(graph, config=config, diagnostics=diagnostics)
-            registry.plan_put(key, plan)
-    else:
-        plan = build_plan(graph, config=config, diagnostics=diagnostics)
-    memo[config] = plan
-    return plan
+    pending_key = (id(graph), config)
+    while True:
+        with _MEMO_LOCK:
+            memo = _PLAN_MEMO.setdefault(graph, {})
+            plan = memo.get(config)
+            if plan is not None:
+                return plan
+            pending = _PLAN_PENDING.get(pending_key)
+            if pending is None:
+                pending = _PendingPlan(graph)
+                _PLAN_PENDING[pending_key] = pending
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            # Another thread is building this exact plan; wait, then loop
+            # (the memo either has the plan now, or the build failed and
+            # this thread becomes the new leader).
+            pending.event.wait()
+            continue
+        try:
+            if registry is not None:
+                key = plan_cache_key(graph, config)
+                plan = registry.plan_get(key)
+                if plan is None:
+                    plan = build_plan(
+                        graph, config=config, diagnostics=diagnostics
+                    )
+                    registry.plan_put(key, plan)
+            else:
+                plan = build_plan(graph, config=config, diagnostics=diagnostics)
+            with _MEMO_LOCK:
+                memo[config] = plan
+            return plan
+        finally:
+            with _MEMO_LOCK:
+                _PLAN_PENDING.pop(pending_key, None)
+            pending.event.set()
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,247 @@
+"""Concurrency suite for the repro.serve subsystem.
+
+The contracts under test:
+
+* identical concurrent requests coalesce into a single compile and a
+  single plan build (counter-based, not timing-based),
+* a concurrent run is bit-identical to a serial replay of the same trace,
+* queue overflow surfaces as explicit backpressure (``QueueFullError``
+  with a positive ``retry_after``), never as blocking or silent loss,
+* a crashing request yields an error response without poisoning the
+  worker pool,
+* dispatch honours priority (high before normal before low), FIFO
+  within a level,
+* disk-cache writes are atomic (temp-file + ``os.replace``) and degrade
+  to memory-only on disk failure.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.driver.cache import ArtifactCache, fingerprint
+from repro.errors import QueueFullError
+from repro.serve import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    Request,
+    Scheduler,
+    Server,
+    percentile,
+    replay,
+    run_serial,
+    synth_trace,
+)
+
+
+# ---------------------------------------------------------------------------
+# Coalescing: N identical concurrent requests, one compile, one plan.
+# ---------------------------------------------------------------------------
+
+
+def test_identical_concurrent_requests_coalesce():
+    requests = [Request(workload="MobileRobot", steps=2) for _ in range(8)]
+    with Server(workers=4, queue_capacity=16) as server:
+        tickets = [server.submit(request) for request in requests]
+        responses = [ticket.wait(timeout=120) for ticket in tickets]
+    report = server.report()
+
+    assert all(response.ok for response in responses)
+    signatures = {response.signature for response in responses}
+    assert len(signatures) == 1
+
+    # Exactly one worker ran the compile stages; every other request was
+    # served from the artifact cache or coalesced onto the in-flight
+    # compile. Same for planning.
+    compile_counts = report.provenance["compile"]
+    assert compile_counts.get("built", 0) == 1
+    assert sum(compile_counts.values()) == len(requests)
+    plan_counts = report.provenance["plan"]
+    assert plan_counts.get("built", 0) == 1
+    assert sum(plan_counts.values()) == len(requests)
+
+    # The hard, counter-based form of the same claim.
+    assert report.distinct_configs == 1
+    assert report.plans_built == report.expected_plans
+    assert report.statements_planned == report.expected_statements
+    assert report.plan_reuse_ok
+    assert report.completed == len(requests)
+    assert report.failed == 0
+
+
+def test_concurrent_run_bit_identical_to_serial():
+    trace = synth_trace(
+        requests=10,
+        workloads=("MobileRobot", "FFT-8192"),
+        seed=3,
+        max_steps=3,
+    )
+    server = Server(workers=4, queue_capacity=32)
+    with server:
+        concurrent, retries = replay(server, trace)
+    # Snapshot before the serial replay: PLAN_STATS is process-global, and
+    # the serial baseline's own plan builds must not pollute this report.
+    report = server.report()
+    serial, _ = run_serial(trace)
+
+    assert retries == 0
+    assert len(concurrent) == len(serial) == len(trace)
+    for conc, ref in zip(concurrent, serial):
+        assert conc.ok and ref.ok
+        assert conc.signature is not None
+        assert conc.signature == ref.signature
+    assert report.plan_reuse_ok
+
+
+# ---------------------------------------------------------------------------
+# Backpressure.
+# ---------------------------------------------------------------------------
+
+
+def test_queue_overflow_raises_backpressure_error():
+    # Not started: nothing drains the queue, so capacity is exact.
+    server = Server(workers=1, queue_capacity=2)
+    first = server.submit(Request(workload="MobileRobot"))
+    second = server.submit(Request(workload="MobileRobot"))
+
+    with pytest.raises(QueueFullError) as excinfo:
+        server.submit(Request(workload="MobileRobot"))
+    assert excinfo.value.retry_after > 0
+
+    # The rejected request left no residue; admitted ones still complete.
+    server.start()
+    assert server.drain(timeout=120)
+    server.close()
+    assert first.wait(timeout=1).ok
+    assert second.wait(timeout=1).ok
+    report = server.report()
+    assert report.rejected == 1
+    assert report.completed == 2
+    assert report.queue_peak == 2
+
+
+def test_submit_after_close_is_rejected():
+    server = Server(workers=1, queue_capacity=4)
+    server.start()
+    server.close()
+    with pytest.raises(QueueFullError):
+        server.submit(Request(workload="MobileRobot"))
+
+
+# ---------------------------------------------------------------------------
+# Fault isolation: a crashing request must not poison the pool.
+# ---------------------------------------------------------------------------
+
+
+def test_crashing_request_does_not_poison_pool():
+    with Server(workers=2, queue_capacity=8) as server:
+        bad = server.request(Request(workload="no-such-workload"), timeout=60)
+        assert not bad.ok
+        assert bad.error and "no-such-workload" in bad.error
+        assert bad.error_kind == "WorkloadError"
+        # Both workers survived and the next request is served normally.
+        assert server.pool.alive == 2
+        good = server.request(Request(workload="MobileRobot"), timeout=120)
+        assert good.ok and good.signature is not None
+    assert server.pool.handler_faults == 0
+    report = server.report()
+    assert report.completed == 1
+    assert report.failed == 1
+
+
+# ---------------------------------------------------------------------------
+# Priority scheduling.
+# ---------------------------------------------------------------------------
+
+
+def test_scheduler_orders_by_priority_then_fifo():
+    scheduler = Scheduler(capacity=8)
+    scheduler.submit(PRIORITY_LOW, "low-0")
+    scheduler.submit(PRIORITY_NORMAL, "normal-0")
+    scheduler.submit(PRIORITY_HIGH, "high-0")
+    scheduler.submit(PRIORITY_NORMAL, "normal-1")
+    scheduler.submit(PRIORITY_HIGH, "high-1")
+    order = [scheduler.next(timeout=0.1) for _ in range(5)]
+    assert order == ["high-0", "high-1", "normal-0", "normal-1", "low-0"]
+    scheduler.close()
+    assert scheduler.next(timeout=0.1) is None
+
+
+def test_server_dispatches_by_priority():
+    # Queue everything before starting the single worker, so dispatch
+    # order is purely the scheduler's.
+    server = Server(workers=1, queue_capacity=8)
+    low = server.submit(Request(workload="MobileRobot", priority=PRIORITY_LOW))
+    normal = server.submit(Request(workload="MobileRobot"))
+    high = server.submit(Request(workload="MobileRobot", priority=PRIORITY_HIGH))
+    server.start()
+    assert server.drain(timeout=120)
+    server.close()
+    started = [ticket.metrics.started_at for ticket in (high, normal, low)]
+    assert started == sorted(started)
+
+
+# ---------------------------------------------------------------------------
+# Atomic disk-cache writes.
+# ---------------------------------------------------------------------------
+
+
+def test_disk_writes_are_atomic_and_leave_no_temp_files(tmp_path):
+    cache = ArtifactCache(cache_dir=str(tmp_path))
+    key = fingerprint("artifact-v1")
+    assert cache.put(key, {"payload": 1})
+    entries = sorted(p.name for p in tmp_path.iterdir())
+    assert entries == [f"{key}.pkl"]  # no .tmp residue
+    with open(tmp_path / f"{key}.pkl", "rb") as handle:
+        assert pickle.load(handle) == {"payload": 1}
+
+
+def test_failed_disk_write_preserves_old_entry(tmp_path, monkeypatch):
+    cache = ArtifactCache(cache_dir=str(tmp_path))
+    key = fingerprint("artifact-v1")
+    cache.put(key, {"version": 1})
+
+    def broken_replace(src, dst):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(os, "replace", broken_replace)
+    # The put still succeeds (memory tier), the disk tier degrades, and
+    # the published on-disk entry is the intact old version.
+    assert cache.put(key, {"version": 2})
+    assert cache.stats.disk_errors == 1
+    monkeypatch.undo()
+
+    assert cache.get(key) == {"version": 2}  # memory tier has the new value
+    with open(tmp_path / f"{key}.pkl", "rb") as handle:
+        assert pickle.load(handle) == {"version": 1}
+    assert not [p for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+
+
+# ---------------------------------------------------------------------------
+# Metrics plumbing.
+# ---------------------------------------------------------------------------
+
+
+def test_percentile_nearest_rank():
+    values = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(values, 0.5) == 20.0
+    assert percentile(values, 0.95) == 40.0
+    assert percentile([], 0.5) == 0.0
+
+
+def test_report_serialises_to_json_compatible_dict():
+    trace = synth_trace(requests=4, workloads=("MobileRobot",), seed=1)
+    with Server(workers=2, queue_capacity=8) as server:
+        replay(server, trace)
+    payload = server.report().to_dict()
+    assert payload["completed"] == 4
+    assert payload["plan_reuse"]["ok"] is True
+    assert payload["throughput_rps"] > 0
+    assert len(payload["requests"]) == 4
+    for entry in payload["requests"]:
+        assert entry["compile_provenance"] in ("built", "cache", "coalesced")
+        assert entry["queue_seconds"] >= 0
