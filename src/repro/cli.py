@@ -379,15 +379,31 @@ def _cmd_serve(args):
         precision=args.precision,
     )
 
+    tracer = None
+    if getattr(args, "trace", None):
+        from .obs import Tracer
+
+        tracer = Tracer()
+
     PLAN_STATS.reset()
     server = Server(
         workers=args.workers,
         queue_capacity=args.queue_depth,
         emulate_device=args.emulate_device,
+        tracer=tracer,
     )
     with server:
         responses, backpressure_retries = replay(server, trace)
     report = server.report()
+
+    if tracer is not None:
+        from .obs import write_chrome_trace
+
+        write_chrome_trace(tracer, args.trace)
+        print(
+            f"wrote {len(tracer)} span(s) "
+            f"({', '.join(sorted(tracer.categories()))}) to {args.trace}"
+        )
 
     print(report.render())
     if backpressure_retries:
@@ -437,6 +453,95 @@ def _cmd_serve(args):
 
     if args.json:
         _emit_json(report.to_dict(), args.json)
+    return status
+
+
+def _cmd_trace(args):
+    """Trace a small serve run end to end and export the span timeline.
+
+    Produces one Chrome trace-event JSON (``chrome://tracing`` /
+    Perfetto loadable) whose spans cover every layer of the stack —
+    serve request lifecycle, compiler-session stages, per-pass timings,
+    plan build/execute, and host-runtime dispatch/recovery events — plus
+    the unified counters dump from the server's
+    :meth:`~repro.serve.server.Server.metrics_registry`. One appended
+    fault-injecting request (a single transient compute error, recovered
+    by retry) routes through the HostManager so the runtime layer shows
+    up even though plain requests execute plans directly.
+    """
+    from .obs import CATEGORIES, Tracer, write_chrome_trace
+    from .serve import Request, Server, replay, synth_trace
+    from .srdfg.plan import PLAN_STATS
+
+    workloads = tuple(
+        name.strip() for name in args.workloads.split(",") if name.strip()
+    )
+    if not workloads:
+        print("trace: --workloads must name at least one workload",
+              file=sys.stderr)
+        return 2
+    trace = synth_trace(
+        requests=args.requests,
+        workloads=workloads,
+        seed=args.seed,
+        max_steps=args.max_steps,
+    )
+    # One transient fault (struck once, recovered by retry) routes a
+    # request through the HostManager, so the runtime layer appears on
+    # the timeline alongside the plan-execute fast path.
+    trace = list(trace) + [
+        Request(
+            workload=workloads[0],
+            steps=1,
+            inject=("transient",),
+            seed=args.seed,
+        )
+    ]
+
+    tracer = Tracer()
+    PLAN_STATS.reset()
+    server = Server(workers=args.workers, tracer=tracer)
+    registry = server.metrics_registry()
+    with server:
+        responses, _ = replay(server, trace)
+    report = server.report()
+
+    write_chrome_trace(tracer, args.out)
+    counts = tracer.counts()
+    summary = ", ".join(
+        f"{category}={counts[category]}" for category in sorted(counts)
+    )
+    if args.out != "-":
+        print(f"wrote {len(tracer)} span(s) to {args.out} ({summary})")
+    print()
+    print("counters:")
+    print(registry.render())
+
+    status = 0
+    failures = [r for r in responses if r is not None and not r.ok]
+    if failures:
+        status = 1
+        for response in failures:
+            print(
+                f"request {response.request.request_id} "
+                f"({response.request.describe()}) failed: {response.error}",
+                file=sys.stderr,
+            )
+    if report.failed and not failures:
+        status = 1
+
+    if args.assert_layers:
+        missing = set(CATEGORIES) - tracer.categories()
+        if missing:
+            status = 1
+            print(
+                f"layer assertion FAILED: no spans from {sorted(missing)} "
+                f"(got {sorted(tracer.categories())})",
+                file=sys.stderr,
+            )
+        else:
+            print(f"\nall {len(CATEGORIES)} layers present: "
+                  f"{', '.join(CATEGORIES)}")
     return status
 
 
@@ -569,7 +674,52 @@ def build_parser():
         metavar="PATH",
         help="dump the ServeReport as JSON (- for stdout)",
     )
+    serve.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a span trace of the run and write it as Chrome "
+        "trace-event JSON (chrome://tracing / Perfetto loadable)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    trace = sub.add_parser(
+        "trace",
+        help="trace a small serve run across every layer and export "
+        "Chrome trace-event JSON plus a unified counters dump",
+    )
+    trace.add_argument(
+        "--requests", type=int, default=6, help="trace length (default 6)"
+    )
+    trace.add_argument(
+        "--workers", type=int, default=2, help="worker threads (default 2)"
+    )
+    trace.add_argument(
+        "--workloads",
+        default="MobileRobot,ElecUse",
+        metavar="A,B,...",
+        help="comma-separated workload mix",
+    )
+    trace.add_argument("--seed", type=int, default=0, help="trace RNG seed")
+    trace.add_argument(
+        "--max-steps",
+        type=int,
+        default=2,
+        help="max invocations per request (default 2)",
+    )
+    trace.add_argument(
+        "--out",
+        default="trace.json",
+        metavar="PATH",
+        help="Chrome trace-event JSON output path (default trace.json, "
+        "- for stdout)",
+    )
+    trace.add_argument(
+        "--assert-layers",
+        action="store_true",
+        help="exit nonzero unless the trace contains spans from all five "
+        "layers (serve, session, passes, plan, runtime)",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     profile = sub.add_parser("profile", help="per-fragment cost profile")
     profile.add_argument("source", help="PMLang file path (- for stdin)")

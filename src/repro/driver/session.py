@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from ..errors import PolyMathError, TargetError
+from ..obs import NULL_TRACER
 from ..passes import default_pipeline
 from ..passes.lowering import lower, supported_summary
 from ..pmlang.parser import parse
@@ -120,12 +121,17 @@ class CompilerSession:
         cache=None,
         cache_dir=None,
         diagnostics=None,
+        tracer=None,
     ):
         self.accelerators = dict(accelerators or {})
         self.run_pipeline = run_pipeline
         self.pipeline_factory: Callable = pipeline_factory or default_pipeline
         self.cache = cache or ArtifactCache(cache_dir=cache_dir)
         self.diagnostics = diagnostics or Diagnostics()
+        #: Observability spine: stage spans (category ``session``), pass
+        #: spans (via the pipeline), and plan spans all land here. The
+        #: default NULL_TRACER records nothing at near-zero cost.
+        self.tracer = tracer or NULL_TRACER
         # Disk-tier degradation (corrupt entries, failed writes) surfaces
         # in this session's diagnostics stream unless the caller wired the
         # cache to its own sink already.
@@ -218,7 +224,8 @@ class CompilerSession:
         nodes_before, edges_before = _graph_counts(graph_before)
         start = time.perf_counter()
         try:
-            value = action()
+            with self.tracer.span(stage, category="session"):
+                value = action()
         except PolyMathError as exc:
             line = getattr(exc, "line", None)
             column = getattr(exc, "column", None)
@@ -308,6 +315,9 @@ class CompilerSession:
                 "or to compile()"
             )
         pipeline = self.pipeline_factory() if self.run_pipeline else None
+        if pipeline is not None:
+            # Per-pass spans nest under this compile's span.
+            pipeline.tracer = self.tracer
         key = self.cache_key(
             source, entry, domain, component_domains, accelerators, pipeline
         )
@@ -315,46 +325,52 @@ class CompilerSession:
         with self._state_lock:
             self.compiles += 1
         start = time.perf_counter()
-        artifact = self.cache.get(key)
-        if artifact is not None:
-            self._record(
-                StageRecord(
-                    stage=CACHE_HIT_STAGE,
-                    seconds=time.perf_counter() - start,
-                    cached=True,
-                    detail=f"key {key[:12]}",
+        with self.tracer.span(
+            "compile", category="session", entry=entry, key=key[:12]
+        ) as span:
+            artifact = self.cache.get(key)
+            if artifact is not None:
+                self._record(
+                    StageRecord(
+                        stage=CACHE_HIT_STAGE,
+                        seconds=time.perf_counter() - start,
+                        cached=True,
+                        detail=f"key {key[:12]}",
+                    )
                 )
-            )
-            return artifact.with_hints(data_hints), "cache"
+                span.note(provenance="cache")
+                return artifact.with_hints(data_hints), "cache"
 
-        flight, leader = self._begin_flight(self._inflight_compiles, key)
-        if not leader:
-            flight.event.wait()
-            if flight.error is not None:
-                raise flight.error
-            with self._state_lock:
-                self.coalesced += 1
-            self._record(
-                StageRecord(
-                    stage=COALESCED_STAGE,
-                    seconds=time.perf_counter() - start,
-                    cached=True,
-                    detail=f"awaited in-flight compile {key[:12]}",
+            flight, leader = self._begin_flight(self._inflight_compiles, key)
+            if not leader:
+                flight.event.wait()
+                if flight.error is not None:
+                    raise flight.error
+                with self._state_lock:
+                    self.coalesced += 1
+                self._record(
+                    StageRecord(
+                        stage=COALESCED_STAGE,
+                        seconds=time.perf_counter() - start,
+                        cached=True,
+                        detail=f"awaited in-flight compile {key[:12]}",
+                    )
                 )
-            )
-            return flight.artifact.with_hints(data_hints), "coalesced"
-        try:
-            artifact = self._compile_stages(
-                source, entry, domain, component_domains, accelerators,
-                pipeline, key,
-            )
-            flight.artifact = artifact
-        except BaseException as exc:
-            flight.error = exc
-            raise
-        finally:
-            self._end_flight(self._inflight_compiles, key, flight)
-        return artifact.with_hints(data_hints), "built"
+                span.note(provenance="coalesced")
+                return flight.artifact.with_hints(data_hints), "coalesced"
+            try:
+                artifact = self._compile_stages(
+                    source, entry, domain, component_domains, accelerators,
+                    pipeline, key,
+                )
+                flight.artifact = artifact
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                self._end_flight(self._inflight_compiles, key, flight)
+            span.note(provenance="built")
+            return artifact.with_hints(data_hints), "built"
 
     def _compile_stages(
         self, source, entry, domain, component_domains, accelerators,
@@ -494,36 +510,43 @@ class CompilerSession:
         )
         start = time.perf_counter()
         key = plan_cache_key(app.graph, config)
-        plan = self.cache.plan_get(key)
-        provenance = "cache"
-        if plan is not None:
-            # Seed the per-instance memo so Executor(app.graph) and every
-            # other direct consumer of this graph reuses the cached plan.
-            memoize_plan(app.graph, plan)
-        else:
-            flight, leader = self._begin_flight(self._inflight_plans, key)
-            if not leader:
-                flight.event.wait()
-                if flight.error is not None:
-                    raise flight.error
-                plan = flight.artifact
+        with self.tracer.span(
+            "plan", category="plan", graph=app.graph.name, key=key[:12]
+        ) as span:
+            plan = self.cache.plan_get(key)
+            provenance = "cache"
+            if plan is not None:
+                # Seed the per-instance memo so Executor(app.graph) and every
+                # other direct consumer of this graph reuses the cached plan.
                 memoize_plan(app.graph, plan)
-                with self._state_lock:
-                    self.coalesced += 1
-                provenance = "coalesced"
             else:
-                try:
-                    plan = plan_for_graph(
-                        app.graph, config=config, diagnostics=self.diagnostics
-                    )
-                    self.cache.plan_put(key, plan)
-                    flight.artifact = plan
-                except BaseException as exc:
-                    flight.error = exc
-                    raise
-                finally:
-                    self._end_flight(self._inflight_plans, key, flight)
-                provenance = "built"
+                flight, leader = self._begin_flight(self._inflight_plans, key)
+                if not leader:
+                    flight.event.wait()
+                    if flight.error is not None:
+                        raise flight.error
+                    plan = flight.artifact
+                    memoize_plan(app.graph, plan)
+                    with self._state_lock:
+                        self.coalesced += 1
+                    provenance = "coalesced"
+                else:
+                    try:
+                        plan = plan_for_graph(
+                            app.graph,
+                            config=config,
+                            diagnostics=self.diagnostics,
+                            tracer=self.tracer,
+                        )
+                        self.cache.plan_put(key, plan)
+                        flight.artifact = plan
+                    except BaseException as exc:
+                        flight.error = exc
+                        raise
+                    finally:
+                        self._end_flight(self._inflight_plans, key, flight)
+                    provenance = "built"
+            span.note(provenance=provenance)
         self._record(
             StageRecord(
                 stage="plan",

@@ -1,0 +1,82 @@
+"""Exporters for recorded traces.
+
+:func:`chrome_trace` converts a :class:`~repro.obs.tracer.Tracer` into
+the Chrome trace-event JSON format (the ``{"traceEvents": [...]}`` array
+form), loadable in ``chrome://tracing`` and https://ui.perfetto.dev —
+complete ``"X"`` events for spans, ``"i"`` instants for point events,
+and ``"M"`` metadata naming the process and each thread lane. Timestamps
+are microseconds relative to the tracer's epoch, which is what both
+viewers expect.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+
+def chrome_trace(tracer):
+    """The tracer's spans as a Chrome trace-event dict."""
+    spans = tracer.spans()
+    threads: Dict[str, int] = {}
+    for span in spans:
+        threads.setdefault(span.thread_name, len(threads) + 1)
+
+    events = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    for thread_name, tid in threads.items():
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": thread_name},
+            }
+        )
+
+    for span in spans:
+        event = {
+            "name": span.name,
+            "cat": span.category,
+            "pid": 1,
+            "tid": threads[span.thread_name],
+            "ts": (span.start - tracer.epoch) * 1e6,
+            "args": {
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                **span.args,
+            },
+        }
+        if span.instant:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant marker
+        else:
+            event["ph"] = "X"
+            event["dur"] = span.duration * 1e6
+        events.append(event)
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(tracer, indent=None):
+    """:func:`chrome_trace` as JSON text."""
+    return json.dumps(chrome_trace(tracer), indent=indent, sort_keys=True)
+
+
+def write_chrome_trace(tracer, path, indent=None):
+    """Write the Chrome trace JSON to *path* (``-`` for stdout)."""
+    text = chrome_trace_json(tracer, indent=indent)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+    return path

@@ -1,0 +1,103 @@
+"""One counters registry over the stack's scattered metric sources.
+
+Before this module, each layer hand-rolled its own counters with its own
+snapshot/reset conventions: :data:`~repro.srdfg.plan.PLAN_STATS`,
+:class:`~repro.driver.cache.CacheStats`, the scheduler's admission
+counters, the worker pool's fault count, and the serve report's
+completed/failed tallies. :class:`MetricsRegistry` absorbs them behind a
+single API: each source registers a ``snapshot`` callable (returning a
+flat ``{counter: number}`` dict) and optionally a ``reset`` callable;
+``registry.snapshot()`` yields one flat namespaced dict and
+``registry.reset()`` zeroes everything resettable in one call.
+
+The registry also owns ad-hoc counters (:meth:`MetricsRegistry.bump`)
+for layers too small to deserve their own stats class.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional, Tuple
+
+
+class MetricsRegistry:
+    """Named counter sources plus ad-hoc counters, one snapshot/reset API."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._sources: Dict[str, Tuple[Callable, Optional[Callable]]] = {}
+
+    # -- sources -----------------------------------------------------------
+
+    def register(self, name, snapshot, reset=None):
+        """Attach a counter source under *name*.
+
+        *snapshot* must be a callable returning a ``{counter: number}``
+        dict; *reset*, when given, zeroes the source. Registering the same
+        name again replaces the source (the latest wiring wins).
+        """
+        if not callable(snapshot):
+            raise TypeError(f"snapshot for {name!r} is not callable")
+        if reset is not None and not callable(reset):
+            raise TypeError(f"reset for {name!r} is not callable")
+        with self._lock:
+            self._sources[name] = (snapshot, reset)
+        return self
+
+    def sources(self):
+        with self._lock:
+            return sorted(self._sources)
+
+    # -- ad-hoc counters ---------------------------------------------------
+
+    def bump(self, name, delta=1):
+        """Increment the registry-owned counter *name* by *delta*."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + delta
+        return self
+
+    def get(self, name, default=0):
+        with self._lock:
+            return self._counters.get(name, default)
+
+    # -- snapshot / reset --------------------------------------------------
+
+    def snapshot(self):
+        """One flat dict: own counters plus ``source.counter`` entries.
+
+        Source snapshots run outside the registry lock (they take their
+        own locks; holding ours while calling theirs invites the exact
+        lock-ordering bugs this layer exists to retire).
+        """
+        with self._lock:
+            flat = dict(self._counters)
+            sources = list(self._sources.items())
+        for name, (snapshot, _) in sources:
+            for key, value in dict(snapshot()).items():
+                flat[f"{name}.{key}"] = value
+        return flat
+
+    def reset(self):
+        """Zero the own counters and every source that offered a reset."""
+        with self._lock:
+            self._counters = {name: 0 for name in self._counters}
+            sources = list(self._sources.items())
+        for _, (_, reset) in sources:
+            if reset is not None:
+                reset()
+        return self
+
+    # -- output ------------------------------------------------------------
+
+    def render(self):
+        """Sorted ``name = value`` lines of the current snapshot."""
+        snapshot = self.snapshot()
+        width = max((len(name) for name in snapshot), default=0)
+        return "\n".join(
+            f"{name:{width}s} = {snapshot[name]}" for name in sorted(snapshot)
+        )
+
+    def __len__(self):
+        with self._lock:
+            return len(self._counters) + len(self._sources)

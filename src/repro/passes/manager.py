@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List
 
 from ..errors import PassError
+from ..obs import NULL_TRACER
 from .base import Pass
 
 
@@ -62,11 +63,15 @@ class PassManager:
     session uses them to feed per-pass records into its stage stream.
     """
 
-    def __init__(self, passes=(), validate=True, recursive=True, hooks=()):
+    def __init__(self, passes=(), validate=True, recursive=True, hooks=(),
+                 tracer=None):
         self.passes: List[Pass] = list(passes)
         self.validate = validate
         self.recursive = recursive
         self.hooks: List[Callable] = list(hooks)
+        #: Per-pass spans land here under category ``passes``; the
+        #: compiler session rebinds this to its own tracer per compile.
+        self.tracer = tracer or NULL_TRACER
 
     def add(self, pass_instance):
         """Append a pass; returns self for chaining."""
@@ -93,21 +98,28 @@ class PassManager:
         for pass_instance in self.passes:
             nodes_before, edges_before = self._counts(graph)
             start = time.perf_counter()
-            try:
-                if self.recursive:
-                    graph = pass_instance.run_recursive(graph)
-                else:
-                    graph = pass_instance.run(graph)
-            except Exception as exc:
-                if isinstance(exc, PassError):
-                    raise
-                raise PassError(
-                    f"pass {pass_instance.name!r} failed: {exc}"
-                ) from exc
-            if self.validate:
-                graph.validate()
-            seconds = time.perf_counter() - start
-            nodes_after, edges_after = self._counts(graph)
+            with self.tracer.span(
+                pass_instance.name, category="passes", graph=graph.name
+            ) as span:
+                try:
+                    if self.recursive:
+                        graph = pass_instance.run_recursive(graph)
+                    else:
+                        graph = pass_instance.run(graph)
+                except Exception as exc:
+                    if isinstance(exc, PassError):
+                        raise
+                    raise PassError(
+                        f"pass {pass_instance.name!r} failed: {exc}"
+                    ) from exc
+                if self.validate:
+                    graph.validate()
+                seconds = time.perf_counter() - start
+                nodes_after, edges_after = self._counts(graph)
+                span.note(
+                    nodes=f"{nodes_before}->{nodes_after}",
+                    edges=f"{edges_before}->{edges_after}",
+                )
             report = PassReport(
                 name=pass_instance.name,
                 nodes_before=nodes_before,

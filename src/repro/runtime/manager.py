@@ -36,6 +36,7 @@ from typing import Dict, List, Optional
 
 from ..driver.diagnostics import Diagnostics
 from ..errors import RuntimeFailure
+from ..obs import NULL_TRACER
 from ..hw.cost import PerfStats
 from ..hw.soc import HOST_DMA_DISPATCH_S, SoCRuntime
 from .faults import CRASH, DMA_CORRUPT, FaultPlan, Site, TIMEOUT_FAULTS
@@ -85,11 +86,17 @@ class _Stage:
 class HostManager:
     """Drives a :class:`CompiledApplication` as a recoverable process."""
 
-    def __init__(self, accelerators, host=None, policy=None, diagnostics=None):
+    def __init__(self, accelerators, host=None, policy=None, diagnostics=None,
+                 tracer=None):
         self.soc = SoCRuntime(accelerators, host=host)
         self.accelerators = self.soc.accelerators
         self.policy = policy or RecoveryPolicy()
         self.diagnostics = diagnostics or Diagnostics()
+        #: Every RuntimeEvent is mirrored as a ``runtime``-category
+        #: instant on this tracer, and each stage runs under a span —
+        #: so dispatch/DMA/retry/fallback land on the same timeline as
+        #: compile stages and serve requests.
+        self.tracer = tracer or NULL_TRACER
 
     # -- dispatch plan -----------------------------------------------------
 
@@ -264,7 +271,14 @@ class HostManager:
                 )
                 ok = False
                 break
-            if not self._run_stage(compiled, stage, placement, hints, run_state):
+            with self.tracer.span(
+                f"stage {stage.domain}", category="runtime",
+                domain=stage.domain, placement=placement[stage.domain],
+            ):
+                stage_ok = self._run_stage(
+                    compiled, stage, placement, hints, run_state
+                )
+            if not stage_ok:
                 ok = False
                 break
             run_state.completed_stages.add(stage.domain)
@@ -281,9 +295,11 @@ class HostManager:
                     config=PlanConfig(
                         precision=precision, lattice_limit=lattice_limit
                     ),
+                    tracer=self.tracer,
                 )
                 report.result = plan.execute(
-                    inputs=inputs, params=params, state=state
+                    inputs=inputs, params=params, state=state,
+                    tracer=self.tracer,
                 )
         if not ok and raise_on_failure:
             raise RuntimeFailure(
@@ -581,6 +597,17 @@ class HostManager:
             detail=detail,
         )
         run_state.report.events.append(event)
+        if self.tracer.enabled:
+            args = {"detail": detail}
+            if domain is not None:
+                args["domain"] = domain
+            if unit:
+                args["unit"] = unit
+            if attempt is not None:
+                args["attempt"] = attempt
+            if fault is not None:
+                args["fault"] = fault
+            self.tracer.instant(kind, category="runtime", **args)
         return event
 
     def _abort(self, run_state, stage, reason):

@@ -32,6 +32,10 @@ class Scheduler:
         self.peak_depth = 0
         self.rejected = 0
         self.admitted = 0
+        #: Rejections whose retry-after estimator raised (the estimate
+        #: degraded to 0.0). Nonzero means the server's estimator is
+        #: broken — visible instead of silently swallowed.
+        self.estimator_errors = 0
         #: Callable returning the retry-after estimate for a rejection
         #: (wired by the server, which knows recent service times).
         self.retry_after_estimator = None
@@ -41,12 +45,22 @@ class Scheduler:
             return len(self._heap)
 
     def _estimate_retry_after(self, depth):
+        """Retry-after estimate for a rejection at queue depth *depth*.
+
+        Called WITHOUT ``self._lock`` held: the estimator is user code
+        (the server's own estimator takes the server's state lock, and
+        may even query this scheduler back), so invoking it under our
+        lock risks lock-ordering deadlocks and serialises every
+        concurrent rejection behind one slow estimate.
+        """
         estimator = self.retry_after_estimator
         if estimator is None:
             return 0.0
         try:
             return max(0.0, float(estimator(depth)))
         except Exception:
+            with self._lock:
+                self.estimator_errors += 1
             return 0.0
 
     def submit(self, priority, entry):
@@ -57,17 +71,21 @@ class Scheduler:
             depth = len(self._heap)
             if depth >= self.capacity:
                 self.rejected += 1
-                retry_after = self._estimate_retry_after(depth)
-                raise QueueFullError(
-                    f"admission queue full ({depth}/{self.capacity}); "
-                    f"retry after {retry_after:.3f}s",
-                    retry_after=retry_after,
-                )
-            heapq.heappush(self._heap, (priority, self._seq, entry))
-            self._seq += 1
-            self.admitted += 1
-            self.peak_depth = max(self.peak_depth, depth + 1)
-            self._not_empty.notify()
+            else:
+                heapq.heappush(self._heap, (priority, self._seq, entry))
+                self._seq += 1
+                self.admitted += 1
+                self.peak_depth = max(self.peak_depth, depth + 1)
+                self._not_empty.notify()
+                return
+        # Queue full: compute the backpressure hint outside the lock (see
+        # _estimate_retry_after) before rejecting.
+        retry_after = self._estimate_retry_after(depth)
+        raise QueueFullError(
+            f"admission queue full ({depth}/{self.capacity}); "
+            f"retry after {retry_after:.3f}s",
+            retry_after=retry_after,
+        )
 
     def next(self, timeout=None):
         """Highest-priority entry, blocking while the queue is empty.
@@ -95,3 +113,15 @@ class Scheduler:
     def closed(self):
         with self._lock:
             return self._closed
+
+    def counters(self):
+        """Flat counter dict (the MetricsRegistry source for this queue)."""
+        with self._lock:
+            return {
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "peak_depth": self.peak_depth,
+                "depth": len(self._heap),
+                "estimator_errors": self.estimator_errors,
+                "closed": int(self._closed),
+            }

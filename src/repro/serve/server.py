@@ -40,6 +40,7 @@ import numpy as np
 
 from ..driver import CompilerSession
 from ..errors import PolyMathError
+from ..obs import MetricsRegistry, NULL_TRACER
 from ..srdfg.plan import PLAN_STATS
 from ..targets import default_accelerators
 from ..workloads import get_workload
@@ -89,8 +90,19 @@ class Server:
         queue_capacity=64,
         emulate_device=0.0,
         cache_dir=None,
+        tracer=None,
     ):
-        self.session = session or CompilerSession(cache_dir=cache_dir)
+        #: One tracer spans the whole request lifecycle: serve-level
+        #: request/queue-wait spans here, session/pass/plan spans through
+        #: the CompilerSession, and runtime instants through HostManager.
+        self.tracer = tracer or NULL_TRACER
+        if session is None:
+            session = CompilerSession(cache_dir=cache_dir, tracer=self.tracer)
+        elif tracer is not None and not session.tracer.enabled:
+            # Caller supplied both a session and a tracer: thread the
+            # tracer through unless the session already has its own.
+            session.tracer = self.tracer
+        self.session = session
         self.scheduler = Scheduler(capacity=queue_capacity)
         self.scheduler.retry_after_estimator = self._retry_after
         self.pool = WorkerPool(
@@ -166,7 +178,16 @@ class Server:
             with self._lock:
                 self._outstanding -= 1
                 self._tickets.remove(ticket)
+            self.tracer.instant(
+                "rejected", category="serve",
+                request_id=request.request_id, workload=request.workload,
+            )
             raise
+        self.tracer.instant(
+            "submit", category="serve",
+            request_id=request.request_id, workload=request.workload,
+            priority=request.priority_name,
+        )
         return ticket
 
     def request(self, request, timeout=None):
@@ -226,14 +247,32 @@ class Server:
         metrics.worker = worker_name
         metrics.started_at = time.perf_counter()
         response = Response(request=request)
-        try:
-            self._serve_one(request, metrics, response)
-        except PolyMathError as exc:
-            response.error = str(exc)
-            response.error_kind = type(exc).__name__
-        except Exception as exc:  # defensive: never poison the worker
-            response.error = str(exc)
-            response.error_kind = type(exc).__name__
+        with self.tracer.span(
+            f"request {request.request_id}", category="serve",
+            workload=request.workload, worker=worker_name,
+            steps=request.steps,
+        ) as span:
+            try:
+                self._serve_one(request, metrics, response)
+            except PolyMathError as exc:
+                response.error = str(exc)
+                response.error_kind = type(exc).__name__
+            except Exception as exc:  # defensive: never poison the worker
+                response.error = str(exc)
+                response.error_kind = type(exc).__name__
+            span.note(
+                ok=response.ok,
+                **({"error_kind": response.error_kind} if response.error else {}),
+            )
+        if self.tracer.enabled:
+            # Retroactive span for the time the ticket sat in the
+            # admission queue (only measurable once dequeued).
+            self.tracer.record(
+                "queue-wait", category="serve",
+                start=metrics.enqueued_at,
+                duration=metrics.started_at - metrics.enqueued_at,
+                request_id=request.request_id,
+            )
         metrics.finished_at = time.perf_counter()
         metrics.ok = response.ok
         response.metrics = metrics
@@ -308,6 +347,7 @@ class Server:
                 inputs=workload.inputs(step, previous),
                 params=params,
                 state=state,
+                tracer=self.tracer,
             )
             state = result.state
             previous = result
@@ -326,7 +366,11 @@ class Server:
             max_attempts=request.retries + 1,
             host_fallback=request.host_fallback,
         )
-        manager = HostManager(app.accelerators, diagnostics=self.session.diagnostics)
+        manager = HostManager(
+            app.accelerators,
+            diagnostics=self.session.diagnostics,
+            tracer=self.tracer,
+        )
         active = fault_plan.activate()
         state = {
             key: np.asarray(value)
@@ -350,6 +394,43 @@ class Server:
         return report.result
 
     # -- reporting ---------------------------------------------------------
+
+    def _serve_counters(self):
+        """Server-level tallies (the ``serve`` MetricsRegistry source)."""
+        with self._lock:
+            return {
+                "completed": self._completed,
+                "failed": self._failed,
+                "outstanding": self._outstanding,
+                "distinct_configs": len(self._distinct_configs),
+            }
+
+    def _pool_counters(self):
+        return {
+            "workers": self.workers,
+            "alive": self.pool.alive,
+            "handler_faults": self.pool.handler_faults,
+        }
+
+    def metrics_registry(self, registry=None):
+        """Wire every counter system this server touches into one
+        :class:`~repro.obs.MetricsRegistry`.
+
+        Unifies the five previously-disjoint telemetry surfaces — global
+        plan statistics, the artifact cache's hit/miss counters, the
+        scheduler's admission counters, the server's own tallies, and the
+        worker pool's health — behind a single ``snapshot()``/``reset()``.
+        Sources without a safe reset (scheduler, serve, pool counters are
+        load-bearing for :meth:`report`) register snapshot-only.
+        """
+        registry = registry or MetricsRegistry()
+        registry.register("plan", PLAN_STATS.to_dict, PLAN_STATS.reset)
+        stats = self.session.cache.stats
+        registry.register("cache", stats.to_dict, stats.reset)
+        registry.register("scheduler", self.scheduler.counters)
+        registry.register("serve", self._serve_counters)
+        registry.register("pool", self._pool_counters)
+        return registry
 
     def report(self):
         """The run's :class:`ServeReport` (call after :meth:`close`)."""

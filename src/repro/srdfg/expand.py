@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import itertools
 
-from ..errors import GraphError
+from ..errors import GraphError, ShapeError
 from ..pmlang import ast_nodes as ast
 from ..pmlang.builtins import is_builtin_reduction
 from .graph import SCALAR, Node, SrDFG
@@ -141,8 +141,21 @@ class _ScalarExpander:
                 merged.update(local)
                 try:
                     selected = bool(eval_static(spec.predicate, merged))
-                except Exception:
-                    selected = True  # data-dependent predicate: keep element
+                except ShapeError:
+                    # Static evaluation cannot see the value (it depends
+                    # on runtime data): keep the element and let the
+                    # runtime predicate decide. Only this specific error
+                    # means "data-dependent" — anything else (a broken
+                    # function call, division by zero, a malformed AST)
+                    # is a real bug that must surface, not silently
+                    # select every element.
+                    selected = True
+                except Exception as exc:
+                    raise GraphError(
+                        f"predicate for index {spec.name!r} in reduction "
+                        f"{call.op!r} of statement targeting "
+                        f"{self.stmt.target!r} failed to evaluate: {exc}"
+                    ) from exc
                 if not selected:
                     break
             if selected:

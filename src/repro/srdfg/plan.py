@@ -54,6 +54,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import ExecutionError
+from ..obs import NULL_TRACER
 from ..pmlang import ast_nodes as ast
 from ..pmlang.render import render_reduction, render_stmt
 from .graph import COMPONENT, COMPUTE, CONST, VAR
@@ -812,13 +813,28 @@ class ExecutionPlan:
         return self._graph_ref()
 
     def execute(self, inputs=None, params=None, state=None, output_init=None,
-                trace=None):
+                trace=None, tracer=None):
         """One invocation of the prebuilt plan; returns ExecutionResult.
 
         *trace*, when a list, receives one record per executed step:
         ``{"node", "kind", "produced": {name: (shape, dtype)}}`` — the
         same lightweight execution trace the interpreter always offered.
+
+        *tracer*, when an enabled :class:`repro.obs.Tracer`, records the
+        invocation as one ``plan``-category span. It is a per-call
+        argument rather than plan state because plans are shared across
+        graphs, sessions, and servers — storing a tracer on the plan
+        would leak one server's spans into another's timeline.
         """
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                f"execute {self.graph_name}", category="plan",
+                steps=len(self.steps),
+            ):
+                return self._execute(inputs, params, state, output_init, trace)
+        return self._execute(inputs, params, state, output_init, trace)
+
+    def _execute(self, inputs, params, state, output_init, trace):
         start = time.perf_counter()
         inputs = inputs or {}
         params = params or {}
@@ -933,11 +949,18 @@ class ExecutionPlan:
         return "\n".join(lines)
 
 
-def build_plan(graph, reductions=None, config=None, diagnostics=None):
+def build_plan(graph, reductions=None, config=None, diagnostics=None,
+               tracer=None):
     """Compile *graph* into a fresh :class:`ExecutionPlan` (no memoisation)."""
-    return ExecutionPlan(
-        graph, reductions=reductions, config=config, diagnostics=diagnostics
-    )
+    tracer = tracer or NULL_TRACER
+    with tracer.span(
+        f"plan-build {graph.name}", category="plan", graph=graph.name
+    ) as span:
+        plan = ExecutionPlan(
+            graph, reductions=reductions, config=config, diagnostics=diagnostics
+        )
+        span.note(steps=len(plan.steps), statements=plan.statement_count)
+        return plan
 
 
 # ---------------------------------------------------------------------------
@@ -993,7 +1016,7 @@ def memoize_plan(graph, plan):
 
 
 def plan_for_graph(graph, reductions=None, config=None, registry=None,
-                   diagnostics=None):
+                   diagnostics=None, tracer=None):
     """The shared plan for *graph* under *config*; builds at most once.
 
     Consults (in order): the per-instance weak memo, then *registry* (an
@@ -1011,7 +1034,8 @@ def plan_for_graph(graph, reductions=None, config=None, registry=None,
     sharable = _own_reductions(graph, reductions)
     if not sharable:
         return build_plan(
-            graph, reductions=reductions, config=config, diagnostics=diagnostics
+            graph, reductions=reductions, config=config,
+            diagnostics=diagnostics, tracer=tracer,
         )
     pending_key = (id(graph), config)
     while True:
@@ -1039,11 +1063,14 @@ def plan_for_graph(graph, reductions=None, config=None, registry=None,
                 plan = registry.plan_get(key)
                 if plan is None:
                     plan = build_plan(
-                        graph, config=config, diagnostics=diagnostics
+                        graph, config=config, diagnostics=diagnostics,
+                        tracer=tracer,
                     )
                     registry.plan_put(key, plan)
             else:
-                plan = build_plan(graph, config=config, diagnostics=diagnostics)
+                plan = build_plan(
+                    graph, config=config, diagnostics=diagnostics, tracer=tracer
+                )
             with _MEMO_LOCK:
                 memo[config] = plan
             return plan

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import json
 
+from ..errors import GraphError
+
 
 def graph_to_dict(graph):
     """Recursive plain-dict form of *graph* (stable across runs)."""
@@ -36,19 +38,30 @@ def graph_to_dict(graph):
         if node.subgraph is not None:
             entry["srdfg"] = graph_to_dict(node.subgraph)
         nodes.append(entry)
-    edges = [
-        {
-            "src": uid_to_local[edge.src.uid],
-            "dst": uid_to_local[edge.dst.uid],
-            "md": {
-                "name": edge.md.name,
-                "dtype": edge.md.dtype,
-                "modifier": edge.md.modifier,
-                "shape": list(edge.md.shape),
-            },
-        }
-        for edge in graph.edges
-    ]
+    edges = []
+    for edge in graph.edges:
+        src = uid_to_local.get(edge.src.uid)
+        dst = uid_to_local.get(edge.dst.uid)
+        if src is None or dst is None:
+            missing = edge.src if src is None else edge.dst
+            raise GraphError(
+                f"edge {edge.describe()} in graph {graph.name!r} references "
+                f"node {missing.name!r} (uid {missing.uid}) which is not a "
+                "member of the graph — dangling edge left behind by a node "
+                "removal?"
+            )
+        edges.append(
+            {
+                "src": src,
+                "dst": dst,
+                "md": {
+                    "name": edge.md.name,
+                    "dtype": edge.md.dtype,
+                    "modifier": edge.md.modifier,
+                    "shape": list(edge.md.shape),
+                },
+            }
+        )
     return {
         "name": graph.name,
         "domain": graph.domain,

@@ -43,6 +43,29 @@ class TestSerialize:
         compute = next(n for n in payload["nodes"] if n["kind"] == "compute")
         assert compute["op_counts"]["mul"] == 12
 
+    def test_state_self_edges_round_trip(self, mpc_source):
+        # State variables produce src == dst edges; they must serialise
+        # as valid local indices, not trip the dangling-edge check.
+        graph = build(mpc_source, domain="RBT")
+        payload = json.loads(graph_to_json(graph))
+        self_edges = [
+            edge for edge in payload["edges"] if edge["src"] == edge["dst"]
+        ]
+        assert self_edges
+        assert any(edge["md"]["modifier"] == "state" for edge in self_edges)
+
+    def test_dangling_edge_raises_descriptive_graph_error(self, matvec_source):
+        graph = build(matvec_source)
+        # Simulate a buggy pass that removed a node but left its edges.
+        victim = graph.compute_nodes()[0]
+        graph.nodes.remove(victim)
+        with pytest.raises(GraphError) as excinfo:
+            graph_to_dict(graph)
+        message = str(excinfo.value)
+        assert victim.name in message
+        assert graph.name in message
+        assert "dangling" in message
+
 
 class TestVisualize:
     def test_text_rendering_shows_levels(self, mpc_source):
@@ -85,6 +108,33 @@ class TestScalarExpansion:
         leaves = [n.name for n in scalar.nodes if n.attrs.get("leaf")]
         assert "x[0]" not in leaves
         assert "x[1]" in leaves
+
+    def test_broken_predicate_surfaces_instead_of_selecting_all(self):
+        # A predicate that genuinely fails to evaluate (here: modulo by
+        # zero) must raise a descriptive GraphError — the old behaviour
+        # silently treated ANY failure as "keep the element".
+        source = (
+            "main(input float x[4], output float r) {"
+            " index i[0:3]; r = sum[i: i % 0 == 0](x[i]); }"
+        )
+        graph = build(source)
+        [node] = graph.compute_nodes()
+        with pytest.raises(GraphError, match="predicate for index 'i'"):
+            expand_scalar(node)
+
+    def test_data_dependent_predicate_keeps_elements(self):
+        # A predicate static evaluation cannot see through (it compares
+        # against a runtime param) is NOT an error: every element stays
+        # in, deferring the selection to the runtime predicate.
+        source = (
+            "main(input float x[4], param float t, output float r) {"
+            " index i[0:3]; r = sum[i: i > t](x[i]); }"
+        )
+        graph = build(source)
+        [node] = graph.compute_nodes()
+        scalar = expand_scalar(node)
+        leaves = [n.name for n in scalar.nodes if n.attrs.get("leaf")]
+        assert {"x[0]", "x[1]", "x[2]", "x[3]"} <= set(leaves)
 
     def test_limit_enforced(self):
         source = (

@@ -245,3 +245,151 @@ def test_report_serialises_to_json_compatible_dict():
     for entry in payload["requests"]:
         assert entry["compile_provenance"] in ("built", "cache", "coalesced")
         assert entry["queue_seconds"] >= 0
+
+
+# ---------------------------------------------------------------------------
+# Scheduler concurrency: the estimator runs outside the lock, estimator
+# failures are counted rather than swallowed, and close() is safe to race
+# against submitters and poppers.
+# ---------------------------------------------------------------------------
+
+
+def test_retry_after_estimator_runs_outside_scheduler_lock():
+    scheduler = Scheduler(capacity=1)
+    scheduler.submit(PRIORITY_NORMAL, "occupant")
+
+    observed = {}
+
+    def estimator(depth):
+        # Deterministic proof (not timing-based): if submit() still held
+        # the non-reentrant scheduler lock while calling us, both of
+        # these would deadlock — acquire() would never succeed and
+        # len() blocks on the same lock.
+        acquired = scheduler._lock.acquire(timeout=1.0)
+        observed["lock_free"] = acquired
+        if acquired:
+            scheduler._lock.release()
+        observed["depth_via_len"] = len(scheduler)
+        return 2.5
+
+    scheduler.retry_after_estimator = estimator
+    with pytest.raises(QueueFullError) as excinfo:
+        scheduler.submit(PRIORITY_NORMAL, "rejected")
+    assert observed["lock_free"] is True
+    assert observed["depth_via_len"] == 1
+    assert excinfo.value.retry_after == 2.5
+
+
+def test_estimator_exception_is_counted_not_swallowed():
+    scheduler = Scheduler(capacity=1)
+    scheduler.submit(PRIORITY_NORMAL, "occupant")
+
+    def broken(depth):
+        raise RuntimeError("estimator bug")
+
+    scheduler.retry_after_estimator = broken
+    for _ in range(2):
+        with pytest.raises(QueueFullError) as excinfo:
+            scheduler.submit(PRIORITY_NORMAL, "rejected")
+        assert excinfo.value.retry_after == 0.0
+
+    counters = scheduler.counters()
+    assert counters["estimator_errors"] == 2
+    assert counters["rejected"] == 2
+    assert counters["admitted"] == 1
+
+
+def test_concurrent_rejections_overlap_in_the_estimator():
+    import threading
+
+    scheduler = Scheduler(capacity=1)
+    scheduler.submit(PRIORITY_NORMAL, "occupant")
+
+    # Two rejections must be able to sit in the estimator at the same
+    # time. Under the old under-lock call they serialised, and this
+    # barrier could never be satisfied.
+    barrier = threading.Barrier(2, timeout=10.0)
+
+    def estimator(depth):
+        barrier.wait()
+        return 0.5
+
+    scheduler.retry_after_estimator = estimator
+    failures = []
+
+    def reject_one():
+        try:
+            with pytest.raises(QueueFullError):
+                scheduler.submit(PRIORITY_NORMAL, "rejected")
+        except Exception as exc:  # barrier timeout -> BrokenBarrierError
+            failures.append(exc)
+
+    threads = [threading.Thread(target=reject_one) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures
+    assert scheduler.counters()["rejected"] == 2
+
+
+def test_close_racing_submit_and_pop_loses_nothing():
+    import threading
+
+    scheduler = Scheduler(capacity=1024)
+    submitters = 4
+    per_thread = 100
+    admitted = []
+    rejected = []
+    popped = []
+    admitted_lock = threading.Lock()
+    start = threading.Barrier(submitters + 2)  # + popper + closer
+
+    def submit_many(index):
+        start.wait()
+        for i in range(per_thread):
+            entry = f"s{index}-{i}"
+            try:
+                scheduler.submit(PRIORITY_NORMAL, entry)
+                with admitted_lock:
+                    admitted.append(entry)
+            except QueueFullError:
+                with admitted_lock:
+                    rejected.append(entry)
+
+    def pop_all():
+        start.wait()
+        while True:
+            entry = scheduler.next(timeout=0.2)
+            if entry is None:
+                # Closed and drained (or momentarily empty pre-close):
+                # only stop once the scheduler is actually closed.
+                if scheduler.closed and len(scheduler) == 0:
+                    return
+                continue
+            popped.append(entry)
+
+    def close_midway():
+        start.wait()
+        scheduler.close()
+
+    threads = [
+        threading.Thread(target=submit_many, args=(i,))
+        for i in range(submitters)
+    ]
+    threads.append(threading.Thread(target=pop_all))
+    threads.append(threading.Thread(target=close_midway))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not any(thread.is_alive() for thread in threads)
+
+    # Conservation: every submission either raised or was admitted, and
+    # every admitted entry was popped exactly once (close() drains).
+    assert len(admitted) + len(rejected) == submitters * per_thread
+    assert sorted(popped) == sorted(admitted)
+    counters = scheduler.counters()
+    assert counters["admitted"] == len(admitted)
+    assert counters["depth"] == 0
+    assert counters["estimator_errors"] == 0
