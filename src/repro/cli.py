@@ -10,6 +10,8 @@ Usage (``python -m repro <command>``)::
     python -m repro tables                   # Tables I-VI
     python -m repro figures [fig7 ...]       # regenerate figures
     python -m repro report                   # everything
+    python -m repro rewrite --explain         # which rewrite rules fired where
+    python -m repro rewrite MPC FFT-8192 --assert-parity  # rules vs legacy passes
     python -m repro chaos BrainStimul --inject crash@DA   # fault-tolerant runtime
     python -m repro serve --requests 32 --workers 4       # concurrent service
 """
@@ -184,6 +186,108 @@ def _stats_workload(args):
             f"built once each, executed {steps} time(s) each"
         )
     return 0
+
+
+def _cmd_rewrite(args):
+    """Run the declarative rewrite engine over workload srDFGs.
+
+    Applies the rule-based optimisation pipeline to each named workload
+    and reports per-rule activity. ``--assert-parity`` instead runs every
+    rule set side by side with its legacy visitor twin and exits nonzero
+    on any graph divergence (CI's parity smoke step); ``--explain``
+    prints each rule firing with its site; ``--fuse`` additionally
+    compiles each workload with cost-guided cross-domain fusion enabled
+    and prints the :class:`~repro.rewrite.fusion.FusionReport`.
+    """
+    from .errors import ParityError
+    from .rewrite import (
+        REWRITE_STATS,
+        ExplainLog,
+        parity_pipeline,
+        rewrite_pipeline,
+    )
+    from .workloads import END_TO_END, SINGLE_DOMAIN, get_workload
+
+    names = args.names or list(SINGLE_DOMAIN + END_TO_END)
+    explain = ExplainLog() if (args.explain or args.json) else None
+    REWRITE_STATS.reset()
+    status = 0
+    entries = []
+    for name in names:
+        workload = get_workload(name)
+        graph = workload.build_graph()
+        nodes_before, edges_before = graph.total_counts()
+        pipeline = (
+            parity_pipeline(explain=explain)
+            if args.assert_parity
+            else rewrite_pipeline(explain=explain)
+        )
+        try:
+            result = pipeline.run(graph)
+        except ParityError as exc:
+            print(f"{name:15s} parity FAIL: {exc}", file=sys.stderr)
+            status = 1
+            entries.append({"workload": name, "parity": False,
+                            "error": str(exc)})
+            continue
+        nodes_after, edges_after = result.graph.total_counts()
+        verdict = "parity ok" if args.assert_parity else "ok"
+        print(
+            f"{name:15s} {verdict:9s} nodes {nodes_before}->{nodes_after}, "
+            f"edges {edges_before}->{edges_after}"
+        )
+        entry = {
+            "workload": name,
+            "nodes_before": nodes_before,
+            "nodes_after": nodes_after,
+            "edges_before": edges_before,
+            "edges_after": edges_after,
+        }
+        if args.assert_parity:
+            entry["parity"] = True
+        entries.append(entry)
+
+    fusion_reports = []
+    if args.fuse:
+        from .driver import CompilerSession
+        from .eval import Harness
+
+        harness = Harness(session=CompilerSession(fusion=True))
+        print()
+        for name in names:
+            _, app, _ = harness.compiled(name)
+            if app.fusion_report is not None:
+                print(app.fusion_report.render())
+                fusion_reports.append(app.fusion_report.to_dict())
+
+    if args.explain and explain is not None:
+        print()
+        print("rule firings:")
+        print(explain.render())
+
+    per_rule = REWRITE_STATS.per_rule()
+    fired = {
+        rule: counts for rule, counts in per_rule.items()
+        if counts["rewrites"]
+    }
+    if fired and not args.explain:
+        print()
+        print(f"{'rule':55s} {'matches':>8s} {'rewrites':>9s}")
+        for rule in sorted(fired):
+            counts = fired[rule]
+            print(f"{rule:55s} {counts['matches']:8d} "
+                  f"{counts['rewrites']:9d}")
+
+    if args.json:
+        payload = {
+            "mode": "parity" if args.assert_parity else "rewrite",
+            "workloads": entries,
+            "counters": REWRITE_STATS.to_dict(),
+            "firings": explain.by_rule() if explain is not None else {},
+            "fusion": fusion_reports,
+        }
+        _emit_json(payload, args.json)
+    return status
 
 
 def _cmd_profile(args):
@@ -720,6 +824,39 @@ def build_parser():
         "layers (serve, session, passes, plan, runtime)",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    rewrite = sub.add_parser(
+        "rewrite",
+        help="run the declarative rewrite engine over workload srDFGs "
+        "(parity assertion, rule-firing explanation, cost-guided fusion)",
+    )
+    rewrite.add_argument(
+        "names", nargs="*", help="workload names (default: all)"
+    )
+    rewrite.add_argument(
+        "--assert-parity",
+        action="store_true",
+        help="run each rule set side by side with its legacy visitor twin "
+        "and exit nonzero on any graph divergence",
+    )
+    rewrite.add_argument(
+        "--explain",
+        action="store_true",
+        help="print every rule firing with the statement site it rewrote",
+    )
+    rewrite.add_argument(
+        "--fuse",
+        action="store_true",
+        help="also compile each workload with cost-guided cross-domain "
+        "fusion and print the fusion report (DMA transfers removed)",
+    )
+    rewrite.add_argument(
+        "--json",
+        metavar="PATH",
+        help="dump workload deltas, per-rule counters, rule firings, and "
+        "fusion reports as JSON (- for stdout)",
+    )
+    rewrite.set_defaults(func=_cmd_rewrite)
 
     profile = sub.add_parser("profile", help="per-fragment cost profile")
     profile.add_argument("source", help="PMLang file path (- for stdin)")

@@ -10,7 +10,13 @@ facade; every compile in the repository flows through
 
 from .cache import ArtifactCache, CacheStats, accelerator_fingerprint, fingerprint
 from .diagnostics import Diagnostic, Diagnostics
-from .session import CACHE_HIT_STAGE, STAGES, CompilerSession, StageRecord
+from .session import (
+    CACHE_HIT_STAGE,
+    FUSE_STAGE,
+    STAGES,
+    CompilerSession,
+    StageRecord,
+)
 
 __all__ = [
     "ArtifactCache",
@@ -19,6 +25,7 @@ __all__ = [
     "CompilerSession",
     "Diagnostic",
     "Diagnostics",
+    "FUSE_STAGE",
     "STAGES",
     "StageRecord",
     "accelerator_fingerprint",

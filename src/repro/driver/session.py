@@ -38,8 +38,16 @@ from ..srdfg.builder import DEFAULT_DOMAIN, BuildContext, build
 from .cache import ArtifactCache, accelerator_fingerprint, fingerprint
 from .diagnostics import Diagnostics
 
-#: Canonical stage names, in execution order.
-STAGES = ("parse", "semantic", "srdfg-build", "optimize", "lower", "translate")
+#: Canonical stage names, in execution order. Every cold compile runs
+#: each of these exactly once; the optional ``fuse`` stage
+#: (:data:`FUSE_STAGE`) additionally runs between ``lower`` and
+#: ``translate`` when the session enables cost-guided fusion.
+STAGES = (
+    "parse", "semantic", "srdfg-build", "optimize", "lower", "translate"
+)
+
+#: Stage name of the opt-in cost-guided cross-domain fusion stage.
+FUSE_STAGE = "fuse"
 
 #: Stage name recorded when a compile is served from the artifact cache.
 CACHE_HIT_STAGE = "cache-hit"
@@ -122,10 +130,19 @@ class CompilerSession:
         cache_dir=None,
         diagnostics=None,
         tracer=None,
+        fusion=None,
     ):
         self.accelerators = dict(accelerators or {})
         self.run_pipeline = run_pipeline
         self.pipeline_factory: Callable = pipeline_factory or default_pipeline
+        #: Cost-guided cross-domain fusion on the lowered graph: ``None``
+        #: disables the ``fuse`` stage, ``True`` uses the default
+        #: :class:`~repro.rewrite.fusion.FusionConfig`, or pass a config.
+        if fusion is True:
+            from ..rewrite.fusion import FusionConfig
+
+            fusion = FusionConfig()
+        self.fusion = fusion
         self.cache = cache or ArtifactCache(cache_dir=cache_dir)
         self.diagnostics = diagnostics or Diagnostics()
         #: Observability spine: stage spans (category ``session``), pass
@@ -200,6 +217,11 @@ class CompilerSession:
             pipeline.recursive,
         )
 
+    def _fusion_fingerprint(self):
+        if self.fusion is None:
+            return "no-fusion"
+        return fingerprint(self.fusion.fingerprint())
+
     def cache_key(
         self, source, entry, domain, component_domains, accelerators, pipeline
     ):
@@ -211,6 +233,7 @@ class CompilerSession:
             tuple(sorted((component_domains or {}).items())),
             accelerator_fingerprint(accelerators),
             self._pipeline_fingerprint(pipeline),
+            self._fusion_fingerprint(),
         )
 
     # -- stage execution -------------------------------------------------------
@@ -449,6 +472,33 @@ class CompilerSession:
                 stage="lower",
             )
 
+        # fuse (opt-in): cost-guided cross-domain fusion — retag kernels
+        # across domain boundaries where the SoC model says the erased DMA
+        # transfers outweigh any compute-cost change.
+        fusion_report = None
+        if self.fusion is not None:
+            from ..rewrite.fusion import fuse_cross_domain
+
+            fusion_report, fuse_record = self._run_stage(
+                FUSE_STAGE,
+                lambda: fuse_cross_domain(
+                    lowered, accelerators, config=self.fusion
+                ),
+                graph_before=lowered,
+                graph_after=lowered,
+            )
+            fuse_record.detail = (
+                f"{len(fusion_report.moves)} move(s), DMA transfers "
+                f"{fusion_report.transfers_before}->"
+                f"{fusion_report.transfers_after}"
+            )
+            if fusion_report.moves:
+                self.diagnostics.note(
+                    f"fusion removed {fusion_report.transfers_removed} DMA "
+                    f"transfer(s) via {len(fusion_report.moves)} move(s)",
+                    stage=FUSE_STAGE,
+                )
+
         # translate: Algorithm 2 — per-domain accelerator programs with
         # load/store fragments at domain crossings.
         from ..targets.compiler import CompiledApplication, compile_to_targets
@@ -466,6 +516,7 @@ class CompilerSession:
             programs=programs,
             accelerators=accelerators,
             source_graph=source_graph,
+            fusion_report=fusion_report,
         )
         if not self.cache.put(key, artifact):
             self.diagnostics.warning(
@@ -635,7 +686,20 @@ class CompilerSession:
                 for plan in plans
             ],
             "diagnostics": dict(counts),
+            "rewrite": self._rewrite_counters(),
         }
+
+    @staticmethod
+    def _rewrite_counters():
+        """Per-rule rewrite-engine counters (matches / rewrites / sweeps).
+
+        Process-wide — the rule engine's counters are not per-session —
+        but surfaced here so ``repro stats --json`` exposes which rules
+        actually fired for the compiles this process ran.
+        """
+        from ..rewrite.engine import REWRITE_STATS
+
+        return REWRITE_STATS.to_dict()
 
     def stats_report(self):
         """Human-readable session report: stages, timings, cache, diagnostics."""
@@ -660,7 +724,11 @@ class CompilerSession:
         for record in records:
             deltas[record.stage] = record  # last execution wins for deltas
         ordered = []
-        for stage in (CACHE_HIT_STAGE, COALESCED_STAGE) + STAGES:
+        # ``fuse`` slots between lower and translate when it ran.
+        display_order = (CACHE_HIT_STAGE, COALESCED_STAGE) + STAGES[:-1] + (
+            FUSE_STAGE,
+        ) + STAGES[-1:]
+        for stage in display_order:
             if stage in totals:
                 ordered.append(stage)
             sub_prefix = f"{stage}/"

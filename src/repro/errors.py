@@ -56,6 +56,26 @@ class PassError(PolyMathError):
     """A transformation pass failed or produced an invalid graph."""
 
 
+class RewriteError(PassError):
+    """The declarative rewrite engine diverged or a rule misbehaved.
+
+    Raised when a rule set fails to reach a fixpoint within its iteration
+    budget, or when cycle detection catches a rule pair that keeps
+    regenerating the same expression/graph (e.g. two rules that undo each
+    other). Subclasses :class:`PassError` so pipeline-level handlers and
+    the pass manager treat it like any other failing pass.
+    """
+
+
+class ParityError(PassError):
+    """A rule-based pass and its legacy twin produced different graphs.
+
+    Raised in parity mode (``repro rewrite --assert-parity`` and the
+    parity test suite); the message names the pass and the first point of
+    divergence.
+    """
+
+
 class LoweringError(PolyMathError):
     """Algorithm 1 could not reduce a node to target-supported operations."""
 

@@ -1,4 +1,4 @@
-"""Design-space exploration over accelerator parameters.
+"""Design-space exploration over accelerator parameters and rule pipelines.
 
 The paper's related work points at Minerva/Aladdin-class DSE toolchains;
 with PolyMath's cost models in place, exploring an accelerator's
@@ -8,14 +8,23 @@ hardware model changes), and collect runtime/energy/EDP per point.
 
 ``explore`` returns every point; ``pareto`` filters to the
 runtime-vs-energy frontier — the view an architect actually reads.
+
+The same machinery searches the *compiler's* configuration space:
+:func:`explore_rules` sweeps rule-set orderings and subsets of the
+declarative rewrite pipeline (:mod:`repro.rewrite`), compiling the
+workload once per candidate and scoring the lowered graph with the SoC
+accounting the fusion pass uses. ``pareto`` takes custom objectives, so
+the modelled-runtime-vs-compile-effort frontier falls out of the same
+dominance filter.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import itertools
+import time
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Tuple
 
 from ..driver import CompilerSession
 from ..hw.cost import RooflineModel
@@ -95,20 +104,171 @@ def explore(workload_name, accelerator_cls, grid, iterations=None, session=None)
     return points
 
 
-def pareto(points):
-    """Runtime-vs-energy Pareto frontier (both minimised)."""
+def pareto(points, objectives=None):
+    """Pareto frontier under *objectives* (all minimised).
+
+    Defaults to the runtime-vs-energy pair of :class:`DesignPoint`;
+    :func:`explore_rules` reuses the same dominance filter with
+    (modelled runtime, optimisation effort) objectives.
+    """
+    if objectives is None:
+        objectives = (lambda p: p.seconds, lambda p: p.energy_j)
     frontier = []
-    for candidate in points:
+    scored = [(tuple(fn(point) for fn in objectives), point) for point in points]
+    for score, candidate in scored:
         dominated = any(
-            other.seconds <= candidate.seconds
-            and other.energy_j <= candidate.energy_j
-            and (other.seconds < candidate.seconds or other.energy_j < candidate.energy_j)
-            for other in points
+            all(o <= s for o, s in zip(other, score))
+            and any(o < s for o, s in zip(other, score))
+            for other, _ in scored
         )
         if not dominated:
             frontier.append(candidate)
-    frontier.sort(key=lambda point: point.seconds)
+    frontier.sort(key=lambda point: objectives[0](point))
     return frontier
+
+
+# ---------------------------------------------------------------------------
+# Rule-pipeline search (pass ordering / rule subsets)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RulePoint:
+    """One rule-set pipeline and its measured effect on a workload."""
+
+    pipeline: Tuple[str, ...]
+    nodes: int
+    edges: int
+    modeled_seconds: float
+    dma_transfers: int
+    rewrites: int
+    compile_seconds: float
+
+    @property
+    def label(self):
+        return " > ".join(self.pipeline) if self.pipeline else "(no passes)"
+
+    def to_dict(self):
+        return {
+            "pipeline": list(self.pipeline),
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "modeled_seconds": self.modeled_seconds,
+            "dma_transfers": self.dma_transfers,
+            "rewrites": self.rewrites,
+            "compile_seconds": self.compile_seconds,
+        }
+
+
+def pipeline_candidates(include_combination=True):
+    """Candidate rule-set pipelines: the default order, every
+    leave-one-out subset, every adjacent-transposition ordering, and
+    (optionally) the default plus the algebraic-combination rule set.
+
+    Bounded — 11 or 12 candidates — rather than the 120 full
+    permutations; transpositions probe ordering sensitivity where it
+    exists (neighbouring passes feeding each other) without a
+    combinatorial sweep.
+    """
+    from ..rewrite import ALGEBRAIC_COMBINATION, DEFAULT_RULESETS
+
+    base = list(DEFAULT_RULESETS)
+    candidates = [tuple(base)]
+    for index in range(len(base)):
+        candidates.append(tuple(base[:index] + base[index + 1:]))
+    for index in range(len(base) - 1):
+        swapped = list(base)
+        swapped[index], swapped[index + 1] = swapped[index + 1], swapped[index]
+        candidates.append(tuple(swapped))
+    if include_combination:
+        candidates.append(tuple(base) + (ALGEBRAIC_COMBINATION,))
+    return candidates
+
+
+def explore_rules(workload_name, candidates=None, include_combination=True):
+    """Pass-ordering / rule-subset search for one workload.
+
+    Each candidate pipeline is compiled through its own
+    :class:`~repro.driver.CompilerSession` (``pipeline_factory`` wires
+    the rule sets straight into the session's ``optimize`` stage, so
+    stage records and spans are the real ones) and scored with
+    :func:`~repro.rewrite.fusion.modeled_cost` — the same SoC accounting
+    the fusion pass and runtime use. Returns one :class:`RulePoint` per
+    candidate, in candidate order (the default pipeline first).
+    """
+    from ..driver import CompilerSession
+    from ..passes.manager import PassManager
+    from ..rewrite.engine import RewriteStats
+    from ..rewrite.fusion import modeled_cost
+    from ..rewrite.rulepass import RulePass
+    from ..targets import default_accelerators
+
+    workload = get_workload(workload_name)
+    candidates = candidates or pipeline_candidates(include_combination)
+    points = []
+    for rulesets in candidates:
+        stats = RewriteStats()
+
+        def factory(chosen=rulesets, chosen_stats=stats):
+            return PassManager(
+                [RulePass(ruleset, stats=chosen_stats) for ruleset in chosen]
+            )
+
+        session = CompilerSession(pipeline_factory=factory)
+        accelerators = default_accelerators(
+            getattr(workload, "accelerator_overrides", None)
+        )
+        start = time.perf_counter()
+        app = session.compile(
+            workload.source(),
+            domain=workload.domain,
+            component_domains=getattr(workload, "component_domains", None),
+            accelerators=accelerators,
+            data_hints=workload.hints(),
+        )
+        compile_seconds = time.perf_counter() - start
+        cost = modeled_cost(app.graph, app.accelerators)
+        counters = stats.to_dict()
+        nodes, edges = app.graph.total_counts()
+        points.append(
+            RulePoint(
+                pipeline=tuple(ruleset.name for ruleset in rulesets),
+                nodes=nodes,
+                edges=edges,
+                modeled_seconds=cost.seconds,
+                dma_transfers=cost.dma_transfers,
+                rewrites=sum(
+                    value for key, value in counters.items()
+                    if key.endswith(".rewrites")
+                ),
+                compile_seconds=compile_seconds,
+            )
+        )
+    return points
+
+
+def rules_frontier(points):
+    """Modelled-runtime vs optimisation-effort Pareto frontier."""
+    return pareto(
+        points,
+        objectives=(lambda p: p.modeled_seconds, lambda p: p.rewrites),
+    )
+
+
+def render_rules(points, title="rule-pipeline search"):
+    """Tabular rendering of rule-search points, fastest modelled first."""
+    lines = [title]
+    lines.append(
+        f"{'modelled':>12s} {'nodes':>6s} {'edges':>6s} {'DMA':>4s} "
+        f"{'rewrites':>8s}  pipeline"
+    )
+    for point in sorted(points, key=lambda p: p.modeled_seconds):
+        lines.append(
+            f"{point.modeled_seconds * 1e6:9.3f} us {point.nodes:6d} "
+            f"{point.edges:6d} {point.dma_transfers:4d} "
+            f"{point.rewrites:8d}  {point.label}"
+        )
+    return "\n".join(lines)
 
 
 def render(points, title="design space"):

@@ -19,13 +19,33 @@ __all__ = [
     "Pass",
     "PassManager",
     "PipelineResult",
+    "default_pipeline",
+    "legacy_pipeline",
     "lower",
     "supported_summary",
 ]
 
 
 def default_pipeline():
-    """The stack's standard target-independent pipeline."""
+    """The stack's standard target-independent pipeline.
+
+    Since the :mod:`repro.rewrite` port, the default pipeline is driven by
+    the declarative rule engine; pass names, order, and resulting graphs
+    are identical to :func:`legacy_pipeline` (asserted by the parity
+    suite and CI's ``repro rewrite --assert-parity`` smoke step).
+    """
+    # Imported lazily: repro.rewrite builds on repro.passes internals.
+    from ..rewrite.rulepass import rewrite_pipeline
+
+    return rewrite_pipeline()
+
+
+def legacy_pipeline():
+    """The pre-rule-engine pipeline of hand-written visitor passes.
+
+    Kept as the parity oracle and as an escape hatch
+    (``CompilerSession(pipeline_factory=legacy_pipeline)``).
+    """
     return PassManager(
         [
             ConstantFolding(),

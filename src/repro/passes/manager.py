@@ -64,7 +64,7 @@ class PassManager:
     """
 
     def __init__(self, passes=(), validate=True, recursive=True, hooks=(),
-                 tracer=None):
+                 tracer=None, diagnostics=None):
         self.passes: List[Pass] = list(passes)
         self.validate = validate
         self.recursive = recursive
@@ -72,6 +72,9 @@ class PassManager:
         #: Per-pass spans land here under category ``passes``; the
         #: compiler session rebinds this to its own tracer per compile.
         self.tracer = tracer or NULL_TRACER
+        #: Optional :class:`~repro.driver.diagnostics.Diagnostics` sink;
+        #: failing passes are recorded here before the PassError is raised.
+        self.diagnostics = diagnostics
 
     def add(self, pass_instance):
         """Append a pass; returns self for chaining."""
@@ -92,8 +95,31 @@ class PassManager:
             return graph.total_counts()
         return len(graph.nodes), len(graph.edges)
 
+    def _fail(self, pass_instance, exc, phase="run"):
+        """Record the failing pass in diagnostics and raise a descriptive
+        :class:`~repro.errors.PassError` (the span around the call site
+        closes on the way out, carrying the error type).
+
+        ``PassError`` subclasses (``RewriteError``/``ParityError``) already
+        name the rule/pass that failed and keep their type; anything else —
+        including a ``GraphError`` from post-pass validation, which
+        previously escaped without ever naming the pass — is wrapped.
+        """
+        message = f"pass {pass_instance.name!r} failed during {phase}: {exc}"
+        if self.diagnostics is not None:
+            self.diagnostics.error(message, stage=f"pass/{pass_instance.name}")
+        if isinstance(exc, PassError):
+            raise exc
+        raise PassError(message) from exc
+
     def run(self, graph):
-        """Apply every pass in order; returns :class:`PipelineResult`."""
+        """Apply every pass in order; returns :class:`PipelineResult`.
+
+        Every failure path — the pass body, post-pass validation, and the
+        stage hooks — surfaces as a :class:`~repro.errors.PassError`
+        naming the pass, with the pass's span closed and the failure
+        recorded in diagnostics (when a sink is configured).
+        """
         result = PipelineResult(graph=graph)
         for pass_instance in self.passes:
             nodes_before, edges_before = self._counts(graph)
@@ -106,14 +132,10 @@ class PassManager:
                         graph = pass_instance.run_recursive(graph)
                     else:
                         graph = pass_instance.run(graph)
+                    if self.validate:
+                        graph.validate()
                 except Exception as exc:
-                    if isinstance(exc, PassError):
-                        raise
-                    raise PassError(
-                        f"pass {pass_instance.name!r} failed: {exc}"
-                    ) from exc
-                if self.validate:
-                    graph.validate()
+                    self._fail(pass_instance, exc)
                 seconds = time.perf_counter() - start
                 nodes_after, edges_after = self._counts(graph)
                 span.note(
@@ -130,6 +152,9 @@ class PassManager:
             )
             result.reports.append(report)
             for hook in self.hooks:
-                hook(report)
+                try:
+                    hook(report)
+                except Exception as exc:
+                    self._fail(pass_instance, exc, phase="stage hook")
         result.graph = graph
         return result

@@ -1,0 +1,117 @@
+"""Declarative pattern/match/rewrite engine over srDFGs.
+
+The stack's optimisation passes, restated as data: patterns with
+op/attr/shape predicates and capture variables (:mod:`.pattern`), rules
+and rule sets (:mod:`.rules`), one fixpoint driver with per-rule trip
+counts and cycle detection (:mod:`.engine`), adapters into the existing
+``PassManager`` surface (:mod:`.rulepass`), and a parity mode that runs
+the legacy visitor passes side by side and asserts graph-identical
+results (:mod:`.parity`). Cost-guided cross-domain fusion builds on the
+same engine in :mod:`.fusion`.
+"""
+
+from .engine import (
+    REWRITE_STATS,
+    ExplainEntry,
+    ExplainLog,
+    RewriteStats,
+    apply_graph_rules,
+    render_expr,
+    rewrite_statement,
+    run_ruleset,
+)
+from .fusion import (
+    CrossDomainFusion,
+    FusionConfig,
+    FusionMove,
+    FusionReport,
+    fuse_cross_domain,
+    modeled_cost,
+)
+from .parity import ParityPass, graph_signature, parity_pipeline, signature_diff
+from .pattern import (
+    ANY,
+    Any,
+    Bin,
+    Bindings,
+    Call,
+    Idx,
+    Lit,
+    NodePattern,
+    Pattern,
+    Ref,
+    Tern,
+    Un,
+    structural_key,
+)
+from .rulepass import RulePass, combination_pass, paired_passes, rewrite_pipeline
+from .rules import (
+    FIXPOINT,
+    RESTART,
+    SWEEP,
+    ExprContext,
+    ExprRule,
+    GraphRule,
+    RuleSet,
+)
+from .rulesets import (
+    ALGEBRAIC_COMBINATION,
+    ALGEBRAIC_SIMPLIFICATION,
+    CONSTANT_FOLDING,
+    COPY_PROPAGATION,
+    CSE,
+    DEAD_CODE_ELIMINATION,
+    DEFAULT_RULESETS,
+)
+
+__all__ = [
+    "ANY",
+    "ALGEBRAIC_COMBINATION",
+    "ALGEBRAIC_SIMPLIFICATION",
+    "Any",
+    "Bin",
+    "Bindings",
+    "CONSTANT_FOLDING",
+    "COPY_PROPAGATION",
+    "CSE",
+    "Call",
+    "CrossDomainFusion",
+    "DEAD_CODE_ELIMINATION",
+    "DEFAULT_RULESETS",
+    "FusionConfig",
+    "FusionMove",
+    "FusionReport",
+    "ExplainEntry",
+    "ExplainLog",
+    "ExprContext",
+    "ExprRule",
+    "FIXPOINT",
+    "GraphRule",
+    "Idx",
+    "Lit",
+    "NodePattern",
+    "ParityPass",
+    "Pattern",
+    "REWRITE_STATS",
+    "RESTART",
+    "Ref",
+    "RewriteStats",
+    "RulePass",
+    "RuleSet",
+    "SWEEP",
+    "Tern",
+    "Un",
+    "apply_graph_rules",
+    "combination_pass",
+    "fuse_cross_domain",
+    "graph_signature",
+    "modeled_cost",
+    "paired_passes",
+    "parity_pipeline",
+    "render_expr",
+    "rewrite_pipeline",
+    "rewrite_statement",
+    "run_ruleset",
+    "signature_diff",
+    "structural_key",
+]

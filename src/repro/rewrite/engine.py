@@ -1,0 +1,406 @@
+"""The fixpoint rewrite driver.
+
+One engine applies every rule set: expression rules run bottom-up inside
+each statement with a per-position fixpoint, graph rules run in sweeps
+over a node snapshot under the rule set's declared strategy. The engine
+— not the rules — owns termination: per-rule trip counts, iteration
+budgets, and cycle detection (a rewrite that regenerates an expression
+or graph already seen aborts with :class:`~repro.errors.RewriteError`
+instead of spinning).
+
+Counters follow the :class:`~repro.srdfg.plan.PlanStats` convention: a
+process-wide, thread-safe :data:`REWRITE_STATS` with ``to_dict``/``reset``
+hooks, registered as the ``rewrite`` source in the observability
+MetricsRegistry and surfaced by ``repro stats --json``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import RewriteError
+from ..pmlang import ast_nodes as ast
+from .pattern import Bindings, structural_key
+from .rules import FIXPOINT, RESTART, SWEEP, ExprContext
+
+#: Rewrites allowed at one expression position before declaring divergence.
+POSITION_LIMIT = 64
+#: Graph sweeps allowed for one rule set before declaring divergence.
+SWEEP_LIMIT = 256
+#: Sweep count after which the engine starts recording graph signatures
+#: to distinguish slow convergence from a rewrite cycle.
+SIGNATURE_AFTER = 8
+
+
+class RewriteStats:
+    """Thread-safe dynamic counters for the rewrite engine.
+
+    Unlike :class:`~repro.srdfg.plan.PlanStats` the key space is open —
+    one ``matches``/``rewrites`` pair per rule plus per-rule-set sweep
+    counts — so counters live in a dict under a lock rather than as
+    fixed dataclass fields.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+
+    def bump(self, key, amount=1):
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + amount
+
+    def to_dict(self):
+        with self._lock:
+            return {key: self._counters[key] for key in sorted(self._counters)}
+
+    def reset(self):
+        with self._lock:
+            self._counters.clear()
+
+    def snapshot(self):
+        return self.to_dict()
+
+    def per_rule(self):
+        """``{rule: {"matches": n, "rewrites": m}}`` across all rule sets."""
+        table: Dict[str, Dict[str, int]] = {}
+        for key, value in self.to_dict().items():
+            name, _, counter = key.rpartition(".")
+            if counter in ("matches", "rewrites"):
+                table.setdefault(name, {"matches": 0, "rewrites": 0})[counter] = value
+        return table
+
+
+#: Process-wide counters (the ``rewrite`` MetricsRegistry source).
+REWRITE_STATS = RewriteStats()
+
+
+@dataclass
+class ExplainEntry:
+    """One rule firing, for ``repro rewrite --explain``."""
+
+    ruleset: str
+    rule: str
+    graph: str
+    site: str
+    detail: str = ""
+
+    def render(self):
+        tail = f"  {self.detail}" if self.detail else ""
+        return f"{self.ruleset}/{self.rule} @ {self.graph}:{self.site}{tail}"
+
+
+@dataclass
+class ExplainLog:
+    """Ordered record of which rules fired where during a pipeline run."""
+
+    entries: List[ExplainEntry] = field(default_factory=list)
+
+    def add(self, ruleset, rule, graph, site, detail=""):
+        self.entries.append(
+            ExplainEntry(
+                ruleset=ruleset, rule=rule, graph=graph, site=site, detail=detail
+            )
+        )
+
+    def by_rule(self):
+        tally: Dict[str, int] = {}
+        for entry in self.entries:
+            key = f"{entry.ruleset}/{entry.rule}"
+            tally[key] = tally.get(key, 0) + 1
+        return tally
+
+    def render(self):
+        if not self.entries:
+            return "no rules fired"
+        return "\n".join(entry.render() for entry in self.entries)
+
+    def __len__(self):
+        return len(self.entries)
+
+
+# ---------------------------------------------------------------------------
+# Expression rewriting
+# ---------------------------------------------------------------------------
+
+
+def render_expr(expr):
+    """Compact PMLang-ish rendering of an expression (for --explain)."""
+    if expr is None:
+        return ""
+    if isinstance(expr, ast.Literal):
+        return repr(expr.value)
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Indexed):
+        return expr.base + "".join(f"[{render_expr(i)}]" for i in expr.indices)
+    if isinstance(expr, ast.UnaryOp):
+        return f"{expr.op}{render_expr(expr.operand)}"
+    if isinstance(expr, ast.BinOp):
+        return f"({render_expr(expr.left)} {expr.op} {render_expr(expr.right)})"
+    if isinstance(expr, ast.Ternary):
+        return (
+            f"({render_expr(expr.cond)} ? {render_expr(expr.then)} "
+            f": {render_expr(expr.other)})"
+        )
+    if isinstance(expr, ast.FuncCall):
+        return f"{expr.func}({', '.join(render_expr(a) for a in expr.args)})"
+    if isinstance(expr, ast.ReductionCall):
+        heads = ",".join(spec.name for spec in expr.indices)
+        return f"{expr.op}[{heads}]({render_expr(expr.arg)})"
+    return repr(expr)
+
+
+def _map_children(expr, fn):
+    """Rebuild *expr* with *fn* applied to each child expression."""
+    if expr is None or isinstance(expr, (ast.Literal, ast.Name)):
+        return expr
+    if isinstance(expr, ast.Indexed):
+        return ast.Indexed(
+            base=expr.base,
+            indices=tuple(fn(index) for index in expr.indices),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(op=expr.op, operand=fn(expr.operand), line=expr.line)
+    if isinstance(expr, ast.BinOp):
+        return ast.BinOp(
+            op=expr.op, left=fn(expr.left), right=fn(expr.right), line=expr.line
+        )
+    if isinstance(expr, ast.Ternary):
+        return ast.Ternary(
+            cond=fn(expr.cond), then=fn(expr.then), other=fn(expr.other),
+            line=expr.line,
+        )
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(
+            func=expr.func, args=tuple(fn(arg) for arg in expr.args), line=expr.line
+        )
+    if isinstance(expr, ast.ReductionCall):
+        return ast.ReductionCall(
+            op=expr.op,
+            indices=tuple(
+                ast.ReductionIndex(
+                    name=spec.name,
+                    predicate=fn(spec.predicate)
+                    if spec.predicate is not None
+                    else None,
+                )
+                for spec in expr.indices
+            ),
+            arg=fn(expr.arg),
+            line=expr.line,
+        )
+    return expr
+
+
+class _ExprDriver:
+    """Bottom-up driver for one rule set over one statement."""
+
+    def __init__(self, ruleset, ctx, stats, explain=None, site=""):
+        self.ruleset = ruleset
+        self.ctx = ctx
+        self.stats = stats
+        self.explain = explain
+        self.site = site
+        self.changed = False
+
+    def rewrite(self, expr):
+        if expr is None:
+            return None
+        expr = _map_children(expr, self.rewrite)
+        return self._fixpoint(expr)
+
+    def _fixpoint(self, expr):
+        """Apply rules at this position until none fires."""
+        seen = {structural_key(expr)}
+        for _ in range(POSITION_LIMIT):
+            fired, expr = self._apply_once(expr)
+            if not fired:
+                return expr
+            key = structural_key(expr)
+            if key in seen:
+                raise RewriteError(
+                    f"rule set {self.ruleset.name!r} cycles on expression "
+                    f"{key!r} at {self.site}"
+                )
+            seen.add(key)
+            # A builder may introduce subexpressions the bottom-up walk
+            # has not seen (an inlined body, a folded literal's siblings);
+            # re-normalise the children before matching here again.
+            expr = _map_children(expr, self.rewrite)
+        raise RewriteError(
+            f"rule set {self.ruleset.name!r} exceeded {POSITION_LIMIT} "
+            f"rewrites at one position ({self.site})"
+        )
+
+    def _apply_once(self, expr):
+        for rule in self.ruleset.expr_rules:
+            bindings = Bindings()
+            if not rule.pattern.match(expr, bindings):
+                continue
+            self.stats.bump(f"{self.ruleset.name}/{rule.name}.matches")
+            replacement = rule.build(expr, bindings, self.ctx)
+            if replacement is None:
+                continue
+            if structural_key(replacement) == structural_key(expr):
+                continue
+            self.stats.bump(f"{self.ruleset.name}/{rule.name}.rewrites")
+            self.changed = True
+            if self.explain is not None:
+                self.explain.add(
+                    self.ruleset.name,
+                    rule.name,
+                    getattr(self.ctx.graph, "name", "?"),
+                    self.site,
+                    detail=f"-> {render_expr(replacement)}",
+                )
+            return True, replacement
+        return False, expr
+
+
+def rewrite_statement(graph, node, ruleset, stats=None, explain=None):
+    """Apply *ruleset*'s expression rules to one compute node's statement.
+
+    Rewrites the target subscripts and the value (exactly the surfaces the
+    legacy expression passes touched), reinstalls the statement, and — when
+    the rule set asks for it — reclassifies the node's operation
+    descriptor, since rewrites can change the op profile. Returns True
+    when the statement changed.
+    """
+    from ..srdfg import opclass
+
+    stats = stats or REWRITE_STATS
+    stmt = node.attrs["stmt"]
+    index_ranges = node.attrs.get("index_ranges", {})
+    ctx = ExprContext(
+        graph=graph,
+        node=node,
+        static_env=node.attrs.get("static_env", {}),
+        protected=frozenset(index_ranges),
+        index_ranges=index_ranges,
+    )
+    driver = _ExprDriver(
+        ruleset, ctx, stats, explain=explain, site=f"{stmt.target}@{node.uid}"
+    )
+    rewritten = ast.Assign(
+        target=stmt.target,
+        target_indices=tuple(driver.rewrite(index) for index in stmt.target_indices),
+        value=driver.rewrite(stmt.value),
+        line=stmt.line,
+    )
+    node.attrs["stmt"] = rewritten
+    if ruleset.reclassify:
+        reductions = getattr(graph, "reductions", {})
+        node.attrs["descriptor"] = opclass.classify(
+            rewritten, index_ranges, reductions
+        )
+        node.name = node.attrs["descriptor"].opname
+    return driver.changed
+
+
+# ---------------------------------------------------------------------------
+# Graph rewriting
+# ---------------------------------------------------------------------------
+
+
+def _graph_key(graph):
+    from .parity import graph_signature
+
+    return hash(graph_signature(graph, recursive=False))
+
+
+def apply_graph_rules(graph, ruleset, stats=None, explain=None):
+    """Drive *ruleset*'s graph rules over one srDFG level.
+
+    Strategy semantics:
+
+    * ``sweep`` — one pass over a snapshot of the node list. This is the
+      exact iteration discipline of the legacy single-sweep visitors
+      (CSE, copy propagation), kept so rule-based and legacy passes are
+      graph-identical even where a fixpoint would find more.
+    * ``fixpoint`` — sweep until a sweep changes nothing.
+    * ``restart`` — restart the sweep after every successful rewrite
+      (the legacy combination pass's scan-from-the-top discipline).
+
+    Returns the number of successful rewrites. Raises
+    :class:`~repro.errors.RewriteError` when the sweep budget is
+    exhausted or a graph state repeats (two rules undoing each other).
+    """
+    stats = stats or REWRITE_STATS
+    total = 0
+    sweeps = 0
+    signatures = set()
+    while True:
+        sweeps += 1
+        if sweeps > SWEEP_LIMIT:
+            raise RewriteError(
+                f"rule set {ruleset.name!r} exceeded {SWEEP_LIMIT} sweeps "
+                f"on graph {graph.name!r}"
+            )
+        stats.bump(f"{ruleset.name}.sweeps")
+        ctx = ruleset.prepare(graph) if ruleset.prepare is not None else None
+        changed = _one_sweep(graph, ruleset, ctx, stats, explain)
+        total += changed
+        if ruleset.strategy == SWEEP or not changed:
+            break
+        if sweeps >= SIGNATURE_AFTER:
+            key = _graph_key(graph)
+            if key in signatures:
+                raise RewriteError(
+                    f"rule set {ruleset.name!r} cycles on graph "
+                    f"{graph.name!r} (state repeated after {sweeps} sweeps)"
+                )
+            signatures.add(key)
+    return total
+
+
+def _one_sweep(graph, ruleset, ctx, stats, explain):
+    changed = 0
+    restart = ruleset.strategy == RESTART
+    while True:
+        fired_this_scan = False
+        for node in list(graph.nodes):
+            if node.uid not in graph._nodes_by_uid:
+                continue  # removed earlier in this sweep
+            for rule in ruleset.graph_rules:
+                if not rule.pattern.matches(graph, node):
+                    continue
+                stats.bump(f"{ruleset.name}/{rule.name}.matches")
+                if not rule.rewrite(graph, node, ctx):
+                    continue
+                stats.bump(f"{ruleset.name}/{rule.name}.rewrites")
+                changed += 1
+                fired_this_scan = True
+                if explain is not None:
+                    explain.add(
+                        ruleset.name,
+                        rule.name,
+                        graph.name,
+                        f"{node.name}@{node.uid}",
+                    )
+                break  # node may be gone; move on
+            if restart and fired_this_scan:
+                break
+        if not (restart and fired_this_scan):
+            return changed
+
+
+def run_ruleset(graph, ruleset, stats=None, explain=None):
+    """Apply one rule set (expression rules, then graph rules) to *graph*.
+
+    Returns True when anything changed. This is the single entry point
+    the :class:`~repro.rewrite.rulepass.RulePass` adapter calls per graph
+    level.
+    """
+    stats = stats or REWRITE_STATS
+    changed = False
+    if ruleset.expr_rules:
+        for node in graph.compute_nodes():
+            if rewrite_statement(graph, node, ruleset, stats=stats, explain=explain):
+                changed = True
+    if ruleset.graph_rules:
+        if apply_graph_rules(graph, ruleset, stats=stats, explain=explain):
+            changed = True
+    return changed

@@ -1,0 +1,191 @@
+"""Parity mode: prove the rule engine reproduces the legacy passes.
+
+Porting five battle-tested visitor passes to a new substrate is only safe
+if equivalence is *checked*, not argued. Two tools here:
+
+* :func:`graph_signature` — a deterministic, uid-free structural
+  fingerprint of an srDFG (statements via the CSE structural keys, edges
+  via index-normalised endpoints). Two graphs that executed the same
+  transformations have equal signatures even when built separately (node
+  uids are process-global and never repeat, so raw uids are normalised to
+  list positions).
+* :class:`ParityPass` — a pass adapter that runs the legacy visitor on a
+  deep copy and the rule set on the real graph, then asserts the
+  signatures match, raising :class:`~repro.errors.ParityError` at the
+  exact pass that diverged. ``parity_pipeline()`` strings all five
+  together; ``repro rewrite --assert-parity`` and CI's smoke step run it
+  over the figure workloads.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from ..errors import ParityError
+from ..passes.base import Pass
+from ..passes.cse import expr_key
+
+#: Node attrs that are part of a node's structural identity. Descriptors
+#: are derived from ``stmt`` + ``index_ranges`` (and surface in
+#: ``node.name``), so they are deliberately not double-counted.
+_ATTR_KEYS = (
+    "modifier",
+    "dtype",
+    "shape",
+    "lhs_shape",
+    "partial_write",
+    "lowered",
+    "value",
+    "reads",
+    "writes",
+)
+
+
+def _freeze(value):
+    """Hashable, deterministic stand-in for an attr value."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((key, _freeze(val)) for key, val in value.items()))
+    if isinstance(value, set):
+        return tuple(sorted(_freeze(item) for item in value))
+    if hasattr(value, "tobytes") and hasattr(value, "shape"):  # ndarray
+        return ("ndarray", tuple(value.shape), str(value.dtype), value.tobytes())
+    return value
+
+
+def _stmt_key(stmt):
+    if stmt is None:
+        return None
+    return (
+        stmt.target,
+        tuple(expr_key(index) for index in stmt.target_indices),
+        expr_key(stmt.value),
+    )
+
+
+def _node_signature(node, position, recursive):
+    attrs = node.attrs
+    extras = tuple(
+        (key, _freeze(attrs[key])) for key in _ATTR_KEYS if key in attrs
+    )
+    sub = None
+    if recursive and node.subgraph is not None:
+        sub = graph_signature(node.subgraph, recursive=True)
+    return (
+        position,
+        node.kind,
+        node.name,
+        node.domain,
+        _stmt_key(attrs.get("stmt")),
+        tuple(sorted(attrs.get("index_ranges", {}).items())),
+        tuple(sorted((k, _freeze(v)) for k, v in attrs.get("static_env", {}).items())),
+        extras,
+        sub,
+    )
+
+
+def graph_signature(graph, recursive=True):
+    """Deterministic structural fingerprint of *graph* (uid-free).
+
+    Node uids are replaced by positions in the node list — both the
+    legacy visitors and the rule engine preserve insertion order for
+    surviving nodes, and independently built graphs construct nodes in
+    source order, so positions line up wherever structures match. Edges
+    are sorted (their list order is a transformation implementation
+    detail), with endpoints expressed as node positions.
+    """
+    index = {node.uid: position for position, node in enumerate(graph.nodes)}
+    nodes = tuple(
+        _node_signature(node, position, recursive)
+        for position, node in enumerate(graph.nodes)
+    )
+    edges = tuple(
+        sorted(
+            (
+                index[edge.src.uid],
+                index[edge.dst.uid],
+                edge.md.name,
+                edge.md.src_name,
+                edge.md.modifier,
+                edge.md.dtype,
+                tuple(edge.md.shape),
+            )
+            for edge in graph.edges
+        )
+    )
+    return (graph.name, graph.domain, nodes, edges)
+
+
+def signature_diff(expected, got, label_a="legacy", label_b="rules"):
+    """First point of divergence between two signatures, for error text."""
+    if expected == got:
+        return "signatures match"
+    name_a, domain_a, nodes_a, edges_a = expected
+    name_b, domain_b, nodes_b, edges_b = got
+    if (name_a, domain_a) != (name_b, domain_b):
+        return (
+            f"graph identity differs: {label_a}=({name_a}, {domain_a}) "
+            f"{label_b}=({name_b}, {domain_b})"
+        )
+    if len(nodes_a) != len(nodes_b):
+        return (
+            f"node count differs: {label_a}={len(nodes_a)} {label_b}={len(nodes_b)}"
+        )
+    for position, (node_a, node_b) in enumerate(zip(nodes_a, nodes_b)):
+        if node_a != node_b:
+            return (
+                f"node {position} differs:\n  {label_a}: {node_a!r}\n"
+                f"  {label_b}: {node_b!r}"
+            )
+    if edges_a != edges_b:
+        extra_a = set(edges_a) - set(edges_b)
+        extra_b = set(edges_b) - set(edges_a)
+        return (
+            f"edges differ: only-{label_a}={sorted(extra_a)!r} "
+            f"only-{label_b}={sorted(extra_b)!r}"
+        )
+    return "signatures differ in an unlocated component"
+
+
+class ParityPass(Pass):
+    """Run a legacy pass and its rule-based twin side by side.
+
+    The legacy visitor transforms a deep copy; the rule set transforms
+    the real graph; their structural signatures must agree at every
+    recursion level (``run`` is invoked per level by ``run_recursive``,
+    so nested component bodies are checked where they are rewritten).
+    The surviving graph is the rule engine's — parity mode *is* the new
+    pipeline, with the old one riding along as an oracle.
+    """
+
+    def __init__(self, legacy_pass, rule_pass):
+        self.legacy = legacy_pass
+        self.rules = rule_pass
+        self.name = f"parity/{rule_pass.name}"
+
+    def run(self, graph):
+        shadow = copy.deepcopy(graph)
+        self.legacy.run(shadow)
+        self.rules.run(graph)
+        expected = graph_signature(shadow, recursive=False)
+        got = graph_signature(graph, recursive=False)
+        if expected != got:
+            raise ParityError(
+                f"{self.rules.name}: rule engine diverged from legacy pass "
+                f"on graph {graph.name!r}: {signature_diff(expected, got)}"
+            )
+        return graph
+
+
+def parity_pipeline(validate=True, recursive=True, explain=None):
+    """A :class:`~repro.passes.manager.PassManager` running every default
+    pass in parity mode (legacy oracle + rule engine, asserted equal)."""
+    from ..passes.manager import PassManager
+    from .rulepass import paired_passes
+
+    return PassManager(
+        [ParityPass(legacy, rules) for legacy, rules in paired_passes(explain)],
+        validate=validate,
+        recursive=recursive,
+    )

@@ -1,0 +1,328 @@
+"""The default optimisation passes, declared as rule sets.
+
+Each legacy visitor pass from :mod:`repro.passes` is restated here as
+data: patterns plus small builder/rewrite functions, driven by the shared
+engine. Parity with the legacy implementations is load-bearing — the
+parity suite asserts graph-identical results — so where a legacy pass had
+single-sweep (rather than fixpoint) semantics, the rule set declares
+``strategy=SWEEP`` to match, and builders reproduce legacy value
+conventions exactly (e.g. the annihilator rewrite produces an *int* zero
+regardless of the operands' literal types, as ``simplify_expr`` did).
+"""
+
+from __future__ import annotations
+
+from ..pmlang import ast_nodes as ast
+from ..pmlang.builtins import SCALAR_FUNCTIONS
+from ..srdfg.graph import COMPUTE, VAR
+from ..srdfg.metadata import LOCAL
+from .pattern import Any, Bin, Call, Lit, NodePattern, Ref, Tern, Un
+from .rules import RESTART, SWEEP, ExprRule, GraphRule, RuleSet
+
+# ---------------------------------------------------------------------------
+# constant-folding
+# ---------------------------------------------------------------------------
+
+# Shared with the legacy pass on purpose: one table of operator semantics.
+from ..passes.constant_folding import _FOLDABLE_BINOPS
+
+
+def _propagate_static(expr, bindings, ctx):
+    if expr.id in ctx.static_env and expr.id not in ctx.protected:
+        return ast.Literal(value=ctx.static_env[expr.id], line=expr.line)
+    return None
+
+
+def _fold_neg(expr, bindings, ctx):
+    return ast.Literal(value=-expr.operand.value, line=expr.line)
+
+
+def _fold_not(expr, bindings, ctx):
+    return ast.Literal(value=int(not expr.operand.value), line=expr.line)
+
+
+def _fold_binop(expr, bindings, ctx):
+    return ast.Literal(
+        value=_FOLDABLE_BINOPS[expr.op](expr.left.value, expr.right.value),
+        line=expr.line,
+    )
+
+
+def _select_branch(expr, bindings, ctx):
+    return expr.then if expr.cond.value else expr.other
+
+
+def _fold_call(expr, bindings, ctx):
+    impl = SCALAR_FUNCTIONS[expr.func][0]
+    value = impl(*[arg.value for arg in expr.args])
+    return ast.Literal(value=float(value), line=expr.line)
+
+
+_NUM = Lit(numeric=True)
+
+CONSTANT_FOLDING = RuleSet(
+    name="constant-folding",
+    expr_rules=(
+        ExprRule("propagate-static", Ref(), _propagate_static),
+        ExprRule("fold-neg", Un(op="-", operand=_NUM), _fold_neg),
+        ExprRule("fold-not", Un(op="!", operand=_NUM), _fold_not),
+        ExprRule(
+            "fold-binop",
+            Bin(op=frozenset(_FOLDABLE_BINOPS), left=_NUM, right=_NUM),
+            _fold_binop,
+        ),
+        ExprRule("select-branch", Tern(cond=_NUM), _select_branch),
+        ExprRule(
+            "fold-call",
+            Call(each_arg=_NUM, where=lambda e: e.func in SCALAR_FUNCTIONS),
+            _fold_call,
+        ),
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# algebraic-simplification
+# ---------------------------------------------------------------------------
+
+
+def _keep_x(expr, bindings, ctx):
+    return bindings["x"]
+
+
+def _annihilate(expr, bindings, ctx):
+    # Legacy convention: ``x * 0`` folds to an int zero whatever the
+    # operand types were.
+    return ast.Literal(value=0, line=expr.line)
+
+
+def _unwrap_double_neg(expr, bindings, ctx):
+    return expr.operand.operand
+
+
+_ZERO = Lit(value=0, numeric=True)
+_ONE = Lit(value=1, numeric=True)
+
+def _bin(op, left, right, commutative=False):
+    return Bin(op=op, left=left, right=right, commutative=commutative)
+
+
+ALGEBRAIC_SIMPLIFICATION = RuleSet(
+    name="algebraic-simplification",
+    expr_rules=(
+        ExprRule(
+            "add-zero", _bin("+", Any(name="x"), _ZERO, commutative=True), _keep_x
+        ),
+        ExprRule("sub-zero", _bin("-", Any(name="x"), _ZERO), _keep_x),
+        # mul-one must precede mul-zero: for ``0 * 1`` the legacy pass
+        # returns the zero *operand* (preserving its int/float type), not
+        # a fresh int zero.
+        ExprRule(
+            "mul-one", _bin("*", Any(name="x"), _ONE, commutative=True), _keep_x
+        ),
+        ExprRule(
+            "mul-zero", _bin("*", Any(), _ZERO, commutative=True), _annihilate
+        ),
+        ExprRule("div-one", _bin("/", Any(name="x"), _ONE), _keep_x),
+        ExprRule("pow-one", _bin("^", Any(name="x"), _ONE), _keep_x),
+        ExprRule(
+            "neg-neg", Un(op="-", operand=Un(op="-")), _unwrap_double_neg
+        ),
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# copy-propagation
+# ---------------------------------------------------------------------------
+
+
+def _not_partial(graph, node):
+    return not node.attrs.get("partial_write")
+
+
+def _is_identity_copy(graph, node):
+    from ..passes.copy_propagation import _identity_copy
+
+    return _identity_copy(
+        node.attrs["stmt"],
+        node.attrs.get("index_ranges", {}),
+        node.attrs.get("lhs_shape", ()),
+    )
+
+
+def _graph_vars(graph):
+    return getattr(graph, "vars", {})
+
+
+def _forward_copy(graph, node, ctx):
+    from ..passes.base import reroute_consumers
+
+    stmt = node.attrs["stmt"]
+    source_edges = [
+        edge for edge in graph.in_edges(node) if edge.md.name == stmt.value.base
+    ]
+    if len(source_edges) != 1:
+        return False
+    source_edge = source_edges[0]
+    boundary_consumers = [
+        edge
+        for edge in graph.out_edges(node)
+        if edge.dst.kind == VAR and edge.dst.attrs.get("modifier") != LOCAL
+    ]
+    info = ctx.get(stmt.target)
+    if boundary_consumers or (info is not None and info.modifier != LOCAL):
+        return False
+    reroute_consumers(
+        graph, node, source_edge.src,
+        rename={stmt.target: source_edge.md.producer_name},
+    )
+    graph.remove_node(node)
+    return True
+
+
+COPY_PROPAGATION = RuleSet(
+    name="copy-propagation",
+    graph_rules=(
+        GraphRule(
+            "forward-identity-copy",
+            NodePattern(
+                kind=COMPUTE, op="copy", where=(_not_partial, _is_identity_copy)
+            ),
+            _forward_copy,
+        ),
+    ),
+    # Single sweep: the legacy visitor already collapses copy chains in
+    # one pass (rerouting is in place), and parity pins that discipline.
+    strategy=SWEEP,
+    prepare=_graph_vars,
+)
+
+
+# ---------------------------------------------------------------------------
+# cse
+# ---------------------------------------------------------------------------
+
+
+def _cse_prepare(graph):
+    return {"vars": _graph_vars(graph), "seen": {}}
+
+
+def _merge_duplicate(graph, node, ctx):
+    from ..passes.base import reroute_consumers
+    from ..passes.cse import _statement_key
+
+    target = node.attrs["stmt"].target
+    info = ctx["vars"].get(target)
+    if info is None or info.modifier != LOCAL:
+        return False
+    key = _statement_key(node, graph)
+    keeper = ctx["seen"].get(key)
+    if keeper is None:
+        ctx["seen"][key] = node
+        return False
+    reroute_consumers(
+        graph, node, keeper, rename={target: keeper.attrs["stmt"].target}
+    )
+    graph.remove_node(node)
+    return True
+
+
+CSE = RuleSet(
+    name="cse",
+    graph_rules=(
+        GraphRule(
+            "merge-duplicate-statement",
+            NodePattern(kind=COMPUTE, where=(_not_partial,)),
+            _merge_duplicate,
+        ),
+    ),
+    # Single sweep with a per-sweep value-number table, like the legacy
+    # visitor: later sweeps could in principle merge newly congruent
+    # nodes, but parity requires stopping where the legacy pass stopped.
+    strategy=SWEEP,
+    prepare=_cse_prepare,
+)
+
+
+# ---------------------------------------------------------------------------
+# dead-code-elimination
+# ---------------------------------------------------------------------------
+
+
+def _live_set(graph):
+    """Reverse reachability from output/state boundary variables."""
+    live = set()
+    worklist = []
+    for node in graph.nodes:
+        if node.kind == VAR and node.attrs.get("modifier") in ("output", "state"):
+            live.add(node.uid)
+            worklist.append(node)
+    incoming = {}
+    for edge in graph.edges:
+        if edge.src.uid == edge.dst.uid:
+            continue
+        incoming.setdefault(edge.dst.uid, []).append(edge.src)
+    while worklist:
+        node = worklist.pop()
+        for src in incoming.get(node.uid, ()):
+            if src.uid not in live:
+                live.add(src.uid)
+                worklist.append(src)
+    return live
+
+
+def _remove_dead(graph, node, ctx):
+    if node.uid in ctx:
+        return False
+    if node.kind == VAR and node.attrs.get("modifier") != LOCAL:
+        return False  # the interface is not code
+    graph.remove_node(node)
+    return True
+
+
+DEAD_CODE_ELIMINATION = RuleSet(
+    name="dead-code-elimination",
+    graph_rules=(
+        GraphRule("remove-unreachable", NodePattern(), _remove_dead),
+    ),
+    # Liveness is a closed property: one prepared sweep removes every
+    # dead node, the second sweep proves convergence.
+    prepare=_live_set,
+)
+
+
+# ---------------------------------------------------------------------------
+# algebraic-combination
+# ---------------------------------------------------------------------------
+
+
+def _fuse_producer(graph, node, ctx):
+    from ..passes.algebraic import AlgebraicCombination
+
+    return AlgebraicCombination()._try_fuse_into(graph, node)
+
+
+ALGEBRAIC_COMBINATION = RuleSet(
+    name="algebraic-combination",
+    graph_rules=(
+        GraphRule(
+            "inline-matvec-into-additive-consumer",
+            NodePattern(kind=COMPUTE),
+            _fuse_producer,
+        ),
+    ),
+    # The legacy pass rescans from the top after every fusion (a fusion
+    # can enable another at an earlier node).
+    strategy=RESTART,
+)
+
+
+#: The default pipeline's rule sets, in legacy pipeline order.
+DEFAULT_RULESETS = (
+    CONSTANT_FOLDING,
+    ALGEBRAIC_SIMPLIFICATION,
+    COPY_PROPAGATION,
+    CSE,
+    DEAD_CODE_ELIMINATION,
+)

@@ -416,15 +416,19 @@ class Server:
         """Wire every counter system this server touches into one
         :class:`~repro.obs.MetricsRegistry`.
 
-        Unifies the five previously-disjoint telemetry surfaces — global
-        plan statistics, the artifact cache's hit/miss counters, the
-        scheduler's admission counters, the server's own tallies, and the
-        worker pool's health — behind a single ``snapshot()``/``reset()``.
+        Unifies the previously-disjoint telemetry surfaces — global plan
+        statistics, per-rule rewrite-engine counters, the artifact cache's
+        hit/miss counters, the scheduler's admission counters, the
+        server's own tallies, and the worker pool's health — behind a
+        single ``snapshot()``/``reset()``.
         Sources without a safe reset (scheduler, serve, pool counters are
         load-bearing for :meth:`report`) register snapshot-only.
         """
+        from ..rewrite.engine import REWRITE_STATS
+
         registry = registry or MetricsRegistry()
         registry.register("plan", PLAN_STATS.to_dict, PLAN_STATS.reset)
+        registry.register("rewrite", REWRITE_STATS.to_dict, REWRITE_STATS.reset)
         stats = self.session.cache.stats
         registry.register("cache", stats.to_dict, stats.reset)
         registry.register("scheduler", self.scheduler.counters)

@@ -135,6 +135,9 @@ class CompiledApplication:
     programs: Dict[str, AcceleratorProgram]
     accelerators: Dict[str, Accelerator]
     source_graph: object = None  # pre-lowering srDFG
+    #: :class:`~repro.rewrite.fusion.FusionReport` when the session's
+    #: ``fuse`` stage ran, else None.
+    fusion_report: object = None
 
     def with_hints(self, data_hints):
         """This application with *data_hints* bound onto accelerator copies.

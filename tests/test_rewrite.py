@@ -1,0 +1,473 @@
+"""Tests for the declarative rewrite engine (``repro.rewrite``).
+
+Covers the pattern matcher (commutativity, capture binding, non-linear
+patterns), the fixpoint driver (trip counts, cycle detection), parity
+between the legacy visitor passes and their rule-set ports — including
+property-based parity over random PMLang programs with bit-identical
+execution through the :class:`~repro.srdfg.plan.ExecutionPlan` — and
+cost-guided cross-domain fusion (legality around stateful nodes,
+bit-identical fused vs unfused outputs).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.driver import CompilerSession
+from repro.driver.diagnostics import Diagnostics
+from repro.errors import ParityError, PassError, RewriteError
+from repro.passes import ConstantFolding, PassManager, default_pipeline, legacy_pipeline
+from repro.passes.base import Pass
+from repro.pmlang import ast_nodes as ast
+from repro.pmlang.parser import parse
+from repro.rewrite import (
+    REWRITE_STATS,
+    Any,
+    Bin,
+    Bindings,
+    ExplainLog,
+    ExprRule,
+    Lit,
+    NodePattern,
+    RulePass,
+    RuleSet,
+    graph_signature,
+    parity_pipeline,
+    rewrite_pipeline,
+    rewrite_statement,
+)
+from repro.rewrite.engine import RewriteStats
+from repro.rewrite.fusion import (
+    FusionConfig,
+    _crossing_candidates,
+    _is_stateful,
+    _relower_tag,
+    fuse_cross_domain,
+)
+from repro.srdfg import build
+from repro.srdfg.plan import PlanConfig, plan_for_graph
+
+
+def _expr(source):
+    """Parse one expression: the RHS of ``out = <source>;``."""
+    program = parse(
+        "main(input float x, input float y, input float z,"
+        f" output float out) {{ out = {source}; }}"
+    )
+    return program.components["main"].body[0].value
+
+
+# ---------------------------------------------------------------------------
+# Pattern matcher
+# ---------------------------------------------------------------------------
+
+
+class TestPatternMatcher:
+    def test_capture_binding(self):
+        pattern = Bin(op="+", left=Any(name="a"), right=Any(name="b"))
+        bindings = Bindings()
+        assert pattern.match(_expr("x + 2"), bindings)
+        assert isinstance(bindings["a"], ast.Name) and bindings["a"].id == "x"
+        assert isinstance(bindings["b"], ast.Literal) and bindings["b"].value == 2
+
+    def test_commutative_matches_swapped_operands(self):
+        pattern = Bin(
+            op="*", left=Any(name="e"), right=Lit(value=1), commutative=True
+        )
+        bindings = Bindings()
+        assert pattern.match(_expr("1 * y"), bindings)
+        assert bindings["e"].id == "y"
+
+    def test_as_written_order_tried_first(self):
+        # 1 * 1 matches either way; the as-written binding must win.
+        pattern = Bin(
+            op="*", left=Any(name="e"), right=Lit(value=1), commutative=True
+        )
+        expr = _expr("x * 1")
+        bindings = Bindings()
+        assert pattern.match(expr, bindings)
+        assert bindings["e"] is expr.left
+
+    def test_non_commutative_requires_order(self):
+        pattern = Bin(op="*", left=Any(name="e"), right=Lit(value=1))
+        assert not pattern.match(_expr("1 * y"), Bindings())
+        assert pattern.match(_expr("y * 1"), Bindings())
+
+    def test_non_linear_pattern_requires_equal_subtrees(self):
+        pattern = Bin(op="-", left=Any(name="e"), right=Any(name="e"))
+        assert pattern.match(_expr("(x + y) - (x + y)"), Bindings())
+        assert not pattern.match(_expr("(x + y) - (x + z)"), Bindings())
+
+    def test_commutative_retry_discards_partial_captures(self):
+        # As-written order binds e := 1 then fails on the right side;
+        # the swapped retry must start from clean bindings.
+        pattern = Bin(
+            op="+", left=Any(name="e"), right=Lit(value=1), commutative=True
+        )
+        bindings = Bindings()
+        assert pattern.match(_expr("1 + x"), bindings)
+        assert bindings["e"].id == "x"
+
+    def test_numeric_literal_guard(self):
+        assert Lit(numeric=True).match(_expr("3"), Bindings())
+        assert not Lit(numeric=True).match(_expr('"s"'), Bindings())
+
+    def test_op_collections(self):
+        pattern = Bin(op=frozenset({"+", "-"}))
+        assert pattern.match(_expr("x + y"), Bindings())
+        assert pattern.match(_expr("x - y"), Bindings())
+        assert not pattern.match(_expr("x * y"), Bindings())
+
+    def test_where_predicate(self):
+        pattern = Lit(numeric=True, where=lambda e: e.value > 10)
+        assert pattern.match(_expr("11"), Bindings())
+        assert not pattern.match(_expr("9"), Bindings())
+
+    def test_node_pattern(self):
+        graph = build(
+            "main(input float x[4], output float y[4]) {"
+            " index i[0:3]; y[i] = x[i] * 2.0; }"
+        )
+        [compute] = graph.compute_nodes()
+        var = graph.var_nodes()[0]
+        assert NodePattern(kind="compute").matches(graph, compute)
+        assert not NodePattern(kind="compute").matches(graph, var)
+        assert NodePattern(op=compute.name).matches(graph, compute)
+        assert not NodePattern(op="no-such-op").matches(graph, compute)
+        rejected = NodePattern(where=(lambda g, n: False,))
+        assert not rejected.matches(graph, compute)
+
+
+# ---------------------------------------------------------------------------
+# Engine: trip counts, explain log, cycle detection
+# ---------------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_per_rule_trip_counts(self):
+        stats = RewriteStats()
+        graph = build(
+            "main(input float x[4], output float y[4]) {"
+            " index i[0:3]; y[i] = x[i] * 1.0 + (2 + 3); }"
+        )
+        rewrite_pipeline(stats=stats).run(graph)
+        counters = stats.to_dict()
+        assert counters["constant-folding/fold-binop.rewrites"] == 1
+        assert counters["algebraic-simplification/mul-one.rewrites"] == 1
+        # Matches dominate rewrites (a match may decline to fire).
+        for rule, counts in stats.per_rule().items():
+            assert counts["matches"] >= counts["rewrites"], rule
+
+    def test_explain_log_records_sites(self):
+        explain = ExplainLog()
+        graph = build(
+            "main(input float x[4], output float y[4]) {"
+            " index i[0:3]; y[i] = x[i] * 1.0; }"
+        )
+        rewrite_pipeline(explain=explain).run(graph)
+        assert len(explain) >= 1
+        fired = explain.by_rule()
+        assert fired.get("algebraic-simplification/mul-one") == 1
+        rendered = explain.render()
+        assert "algebraic-simplification/mul-one" in rendered
+        assert "y@" in rendered  # the statement site
+
+    def test_expression_cycle_detection(self):
+        # A rule that swaps operands forever: the engine must detect the
+        # regenerated expression and abort instead of spinning.
+        ping_pong = RuleSet(
+            name="ping-pong",
+            expr_rules=(
+                ExprRule(
+                    name="swap",
+                    pattern=Bin(op="+"),
+                    build=lambda expr, bindings, ctx: ast.BinOp(
+                        op="+", left=expr.right, right=expr.left
+                    ),
+                ),
+            ),
+        )
+        graph = build(
+            "main(input float x[4], output float y[4]) {"
+            " index i[0:3]; y[i] = x[i] + 1.0; }"
+        )
+        [node] = graph.compute_nodes()
+        with pytest.raises(RewriteError, match="cycles"):
+            rewrite_statement(graph, node, ping_pong)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(RewriteError, match="strategy"):
+            RuleSet(name="bad", strategy="shuffle")
+
+
+# ---------------------------------------------------------------------------
+# Parity: legacy visitor passes vs rule-set ports
+# ---------------------------------------------------------------------------
+
+
+def _random_pipeline_source(depth, size, operators, constants):
+    lines = [f"  float t0[{size}];", f"  index i[0:{size - 1}];",
+             "  t0[i] = x[i];"]
+    previous = "t0"
+    for level, (op, const) in enumerate(zip(operators, constants), start=1):
+        name = f"t{level}"
+        lines.insert(0, f"  float {name}[{size}];")
+        lines.append(f"  {name}[i] = {previous}[i] {op} {const};")
+        previous = name
+    lines.append(f"  y[i] = {previous}[i];")
+    return (
+        f"main(input float x[{size}], output float y[{size}]) {{\n"
+        + "\n".join(lines)
+        + "\n}"
+    )
+
+
+@st.composite
+def random_program(draw):
+    depth = draw(st.integers(min_value=1, max_value=5))
+    size = draw(st.integers(min_value=1, max_value=6))
+    operators = [draw(st.sampled_from(["+", "-", "*"])) for _ in range(depth)]
+    constants = [draw(st.integers(min_value=0, max_value=3)) for _ in range(depth)]
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return _random_pipeline_source(depth, size, operators, constants), size, seed
+
+
+class TestParity:
+    @given(random_program())
+    @settings(max_examples=40, deadline=None)
+    def test_random_programs_rule_engine_matches_legacy(self, case):
+        source, size, seed = case
+        legacy_graph = legacy_pipeline().run(build(source)).graph
+        rules_graph = rewrite_pipeline().run(build(source)).graph
+        assert graph_signature(legacy_graph) == graph_signature(rules_graph)
+
+        # Bit-identical execution through the ExecutionPlan engine.
+        x = np.random.default_rng(seed).normal(size=size)
+        config = PlanConfig(precision="f64")
+        outputs = [
+            plan_for_graph(graph, config=config)
+            .execute(inputs={"x": x})
+            .outputs["y"]
+            for graph in (legacy_graph, rules_graph)
+        ]
+        assert np.array_equal(outputs[0], outputs[1])
+
+    @given(random_program())
+    @settings(max_examples=20, deadline=None)
+    def test_parity_pipeline_asserts_random_programs(self, case):
+        source, _, _ = case
+        parity_pipeline().run(build(source))  # raises ParityError on divergence
+
+    @pytest.mark.parametrize("name", ["MobileRobot", "FFT-8192"])
+    def test_parity_pipeline_on_workloads(self, name):
+        from repro.workloads import get_workload
+
+        parity_pipeline().run(get_workload(name).build_graph())
+
+    def test_parity_pass_detects_divergence(self):
+        # A deliberately empty "constant-folding" rule set diverges from
+        # the legacy pass on any foldable program.
+        broken = RulePass(RuleSet(name="constant-folding"))
+        pipeline = PassManager([_parity_pair(ConstantFolding(), broken)])
+        graph = build(
+            "main(input float x[4], output float y[4]) {"
+            " index i[0:3]; y[i] = x[i] + (2 + 3); }"
+        )
+        with pytest.raises(ParityError, match="constant-folding"):
+            pipeline.run(graph)
+
+    def test_default_pipeline_is_rule_engine(self):
+        pipeline = default_pipeline()
+        assert all(isinstance(p, RulePass) for p in pipeline.passes)
+
+
+def _parity_pair(legacy, rules):
+    from repro.rewrite import ParityPass
+
+    return ParityPass(legacy, rules)
+
+
+# ---------------------------------------------------------------------------
+# Cost-guided cross-domain fusion
+# ---------------------------------------------------------------------------
+
+#: Two-domain program where every kernel touches the state variable:
+#: the DSP producer reads ``s``, the DA consumers read or write it, so
+#: no legal fusion move exists even though a domain crossing does.
+_STATEFUL_CROSSING = (
+    "prod(input float s[4], input float x[4], output float t[4]) {"
+    " index i[0:3]; t[i] = s[i] * 2.0 + x[i]; }\n"
+    "cons(input float t[4], input float sin[4],"
+    " output float sout[4], output float y[4]) {"
+    " index i[0:3]; sout[i] = sin[i] + t[i]; y[i] = sout[i] * 0.5; }\n"
+    "main(input float x[4], state float s[4], output float y[4]) {"
+    " float t[4];"
+    " DSP: prod(s, x, t);"
+    " DA: cons(t, s, s, y);"
+    "}"
+)
+
+
+def _compiled(name, fusion=None):
+    from repro.targets import default_accelerators
+    from repro.workloads import get_workload
+
+    workload = get_workload(name)
+    session = CompilerSession(fusion=fusion)
+    app = session.compile(
+        workload.source(),
+        domain=workload.domain,
+        component_domains=getattr(workload, "component_domains", None),
+        accelerators=default_accelerators(
+            getattr(workload, "accelerator_overrides", None)
+        ),
+        data_hints=workload.hints(),
+    )
+    return workload, app
+
+
+class TestFusion:
+    def test_stateful_nodes_detected(self):
+        _, app = _compiled("BrainStimul")
+        graph = app.graph
+        stateful = [
+            node for node in graph.compute_nodes() if _is_stateful(graph, node)
+        ]
+        assert stateful, "BrainStimul's MPC updates state in place"
+
+    def test_crossing_candidates_are_legal(self):
+        _, app = _compiled("BrainStimul")
+        graph = app.graph
+        candidates = _crossing_candidates(graph, app.accelerators)
+        assert candidates, "BrainStimul has cross-domain kernel edges"
+        for node, target, tag in candidates:
+            assert not _is_stateful(graph, node)
+            assert _relower_tag(node, app.accelerators[target]) == tag
+
+    def test_no_fusion_across_stateful_nodes(self):
+        from repro.targets import default_accelerators
+
+        session = CompilerSession()
+        app = session.compile(
+            _STATEFUL_CROSSING,
+            domain="DSP",
+            accelerators=default_accelerators(),
+        )
+        graph = app.graph
+        stateful = [
+            node for node in graph.compute_nodes() if _is_stateful(graph, node)
+        ]
+        assert stateful, "the crossing kernels all touch state"
+        report = fuse_cross_domain(graph, app.accelerators)
+        assert report.transfers_before > 0, "a domain crossing exists"
+        assert report.moves == [], "stateful kernels must not be retagged"
+        assert report.transfers_after == report.transfers_before
+
+    def test_fusion_reduces_transfers_outputs_bit_identical(self):
+        for name in ("OptionPricing", "BrainStimul"):
+            workload, plain = _compiled(name)
+            _, fused = _compiled(name, fusion=FusionConfig())
+            report = fused.fusion_report
+            assert report is not None and report.moves
+            assert report.transfers_after < report.transfers_before
+            assert report.modeled_seconds_after < report.modeled_seconds_before
+
+            inputs = workload.inputs(0, None)
+            params = workload.params()
+            config = PlanConfig(precision="f64")
+            results = [
+                plan_for_graph(app.graph, config=config).execute(
+                    inputs=inputs,
+                    params=params,
+                    state={
+                        key: np.asarray(value)
+                        for key, value in workload.initial_state().items()
+                    },
+                )
+                for app in (plain, fused)
+            ]
+            assert sorted(results[0].outputs) == sorted(results[1].outputs)
+            for key in results[0].outputs:
+                assert np.array_equal(
+                    results[0].outputs[key], results[1].outputs[key]
+                ), f"{name}:{key}"
+
+    def test_max_moves_respected(self):
+        _, fused = _compiled("BrainStimul", fusion=FusionConfig(max_moves=1))
+        assert len(fused.fusion_report.moves) <= 1
+
+    def test_session_fuse_stage_recorded(self):
+        _, fused = _compiled("OptionPricing", fusion=FusionConfig())
+        assert fused.fusion_report.transfers_removed > 0
+
+
+# ---------------------------------------------------------------------------
+# PassManager failure handling
+# ---------------------------------------------------------------------------
+
+
+class _ExplodingPass(Pass):
+    name = "exploding-rewrite"
+
+    def run(self, graph):
+        raise ValueError("internal rule failure")
+
+
+class _CorruptingPass(Pass):
+    name = "graph-corruptor"
+
+    def run(self, graph):
+        # Drop a node while leaving its edges dangling: post-pass
+        # validation must catch this and name the pass.
+        victim = graph.compute_nodes()[0]
+        graph.nodes = [n for n in graph.nodes if n.uid != victim.uid]
+        del graph._nodes_by_uid[victim.uid]
+        return graph
+
+
+def _small_graph():
+    return build(
+        "main(input float x[4], output float y[4]) {"
+        " index i[0:3]; y[i] = x[i] * 2.0; }"
+    )
+
+
+class TestPassManagerFailures:
+    def test_pass_exception_wrapped_and_recorded(self):
+        diagnostics = Diagnostics()
+        manager = PassManager([_ExplodingPass()], diagnostics=diagnostics)
+        with pytest.raises(PassError, match="exploding-rewrite.*failed during run"):
+            manager.run(_small_graph())
+        [entry] = diagnostics.errors
+        assert entry.stage == "pass/exploding-rewrite"
+        assert "internal rule failure" in entry.message
+
+    def test_validation_failure_names_pass(self):
+        manager = PassManager([_CorruptingPass()])
+        with pytest.raises(PassError, match="graph-corruptor"):
+            manager.run(_small_graph())
+
+    def test_hook_failure_names_pass_and_phase(self):
+        def bad_hook(report):
+            raise RuntimeError("hook exploded")
+
+        diagnostics = Diagnostics()
+        manager = PassManager(
+            [RulePass(RuleSet(name="noop"))],
+            hooks=[bad_hook],
+            diagnostics=diagnostics,
+        )
+        with pytest.raises(PassError, match="stage hook"):
+            manager.run(_small_graph())
+        [entry] = diagnostics.errors
+        assert "stage hook" in entry.message
+
+    def test_rewrite_error_keeps_type(self):
+        class _RaisingRulePass(Pass):
+            name = "raising"
+
+            def run(self, graph):
+                raise RewriteError("rule set 'x' cycles")
+
+        with pytest.raises(RewriteError, match="cycles"):
+            PassManager([_RaisingRulePass()]).run(_small_graph())
