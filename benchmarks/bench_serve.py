@@ -19,7 +19,14 @@ Asserted claims:
 * the concurrent run's outputs are bit-identical to the serial baseline,
 * plans were built exactly once per distinct (workload, config) pair —
   concurrency never duplicated compilation or planning work.
+
+Alongside the text table, the scaling run writes
+``results/BENCH_serve.json`` — throughput, p50/p95/p99 latency,
+queue-wait, and compile/plan provenance counts per worker count — the
+machine-readable twin of the table, matching ``BENCH_figures.json``.
 """
+
+import json
 
 from repro.serve import Server, replay, run_serial, synth_trace
 
@@ -45,7 +52,38 @@ def _run_concurrent(trace, workers):
     return responses, server.report()
 
 
-def test_serve_throughput_scales_with_workers(emit):
+def _report_row(report, speedup):
+    """One BENCH_serve.json entry: the numbers an operator watches."""
+    return {
+        "workers": report.workers,
+        "wall_seconds": report.wall_seconds,
+        "throughput_rps": report.throughput,
+        "speedup": speedup,
+        "completed": report.completed,
+        "failed": report.failed,
+        "latency": {
+            "p50_seconds": report.p50_seconds,
+            "p95_seconds": report.p95_seconds,
+            "p99_seconds": report.p99_seconds,
+        },
+        "queue_wait": {
+            "mean_seconds": report.mean_queue_seconds,
+            "max_seconds": report.max_queue_seconds,
+            "peak_depth": report.queue_peak,
+        },
+        "provenance": {
+            "compile": report.provenance_counts("compile"),
+            "plan": report.provenance_counts("plan"),
+        },
+        "plan_reuse": {
+            "plans_built": report.plans_built,
+            "distinct_configs": report.distinct_configs,
+            "ok": report.plan_reuse_ok,
+        },
+    }
+
+
+def test_serve_throughput_scales_with_workers(emit, results_dir):
     trace = synth_trace(
         requests=REQUESTS,
         workloads=MIX,
@@ -66,6 +104,7 @@ def test_serve_throughput_scales_with_workers(emit):
     ]
 
     speedups = {}
+    scaling = [_report_row(serial_report, 1.0)]
     for workers in (2, 4, 8):
         responses, report = _run_concurrent(trace, workers)
         if workers == 4 and report.throughput < 2.5 * serial_report.throughput:
@@ -85,12 +124,27 @@ def test_serve_throughput_scales_with_workers(emit):
         assert report.distinct_configs == distinct
 
         speedups[workers] = report.throughput / serial_report.throughput
+        scaling.append(_report_row(report, speedups[workers]))
         lines.append(
             f"  {workers:7d}  {report.wall_seconds:8.2f}  "
             f"{report.throughput:7.2f}  {speedups[workers]:7.2f}"
         )
 
     emit("bench_serve", "\n".join(lines))
+    payload = {
+        "trace": {
+            "requests": REQUESTS,
+            "workloads": list(MIX),
+            "seed": SEED,
+            "max_steps": MAX_STEPS,
+            "emulate_device": EMULATE,
+            "distinct_configs": distinct,
+        },
+        "scaling": scaling,
+    }
+    path = results_dir / "BENCH_serve.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[written to {path}]")
 
     # The headline claim: 4 workers >= 2.5x one worker.
     assert speedups[4] >= 2.5, f"4-worker speedup only {speedups[4]:.2f}x"

@@ -14,6 +14,7 @@ Usage (``python -m repro <command>``)::
     python -m repro rewrite MPC FFT-8192 --assert-parity  # rules vs legacy passes
     python -m repro chaos BrainStimul --inject crash@DA   # fault-tolerant runtime
     python -m repro serve --requests 32 --workers 4       # concurrent service
+    python -m repro fuzz --programs 50 --seed 7           # differential fuzzing
 """
 
 from __future__ import annotations
@@ -481,6 +482,8 @@ def _cmd_serve(args):
         seed=args.seed,
         max_steps=args.max_steps,
         precision=args.precision,
+        deadline_s=args.deadline,
+        fault_rate=args.fault_rate,
     )
 
     tracer = None
@@ -495,6 +498,7 @@ def _cmd_serve(args):
         queue_capacity=args.queue_depth,
         emulate_device=args.emulate_device,
         tracer=tracer,
+        breaker_threshold=args.breaker_threshold,
     )
     with server:
         responses, backpressure_retries = replay(server, trace)
@@ -514,7 +518,14 @@ def _cmd_serve(args):
         print(f"  backpressure: {backpressure_retries} retried submission(s)")
 
     status = 0
-    failures = [r for r in responses if r is not None and not r.ok]
+    # Deadline expirations and cancellations are shed load, not service
+    # failures — they are accounted in the report, and a trace run with
+    # an aggressive --deadline is expected to shed some of it.
+    failures = [
+        r for r in responses
+        if r is not None and not r.ok
+        and r.error_kind not in ("DeadlineExceededError", "CancelledError")
+    ]
     if failures:
         status = 1
         for response in failures:
@@ -523,13 +534,24 @@ def _cmd_serve(args):
                 f"({response.request.describe()}) failed: {response.error}",
                 file=sys.stderr,
             )
+    if args.assert_conservation and not report.conservation_ok:
+        status = 1
+        print(
+            "accounting assertion FAILED: "
+            f"{report.accounted} accounted of {report.submitted} submitted "
+            f"(completed {report.completed} + failed {report.failed} + "
+            f"rejected {report.rejected} + expired {report.expired} + "
+            f"cancelled {report.cancelled} + breaker {report.breaker_rejected} "
+            f"+ timed out {report.timed_out})",
+            file=sys.stderr,
+        )
 
     if args.compare_serial:
         serial, _ = run_serial(trace)
         mismatched = [
             concurrent.request.describe()
             for concurrent, reference in zip(responses, serial)
-            if concurrent is not None
+            if concurrent is not None and concurrent.ok
             and concurrent.signature != reference.signature
         ]
         if mismatched:
@@ -558,6 +580,42 @@ def _cmd_serve(args):
     if args.json:
         _emit_json(report.to_dict(), args.json)
     return status
+
+
+def _cmd_fuzz(args):
+    """Differential fuzzing: generated programs vs five oracles.
+
+    Generates seeded random PMLang programs and checks every execution
+    path — interpreter lattice, execution plan, rule-based vs legacy
+    optimization, fusion, and fault-recovered HostManager runs under
+    swept fault campaigns — against the reference interpreter, with
+    automatic test-case minimization for any divergence. Writes the
+    machine-readable validation matrix to ``results/BENCH_resilience.json``
+    (override with ``--json``) and exits nonzero on any divergence.
+    """
+    import os
+
+    from .fuzz import run_fuzz
+
+    progress = None
+    if args.verbose:
+        def progress(line):
+            print(line, flush=True)
+
+    report = run_fuzz(
+        programs=args.programs,
+        seed=args.seed,
+        campaigns=args.campaigns,
+        minimize=args.minimize,
+        progress=progress,
+    )
+    print(report.render())
+    if args.json != "none":
+        directory = os.path.dirname(args.json)
+        if directory and args.json != "-":
+            os.makedirs(directory, exist_ok=True)
+        _emit_json(report.to_dict(), args.json)
+    return 0 if report.ok else 1
 
 
 def _cmd_trace(args):
@@ -762,6 +820,36 @@ def build_parser():
         "invocation, emulating device occupancy (0 disables)",
     )
     serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stamp every request with this deadline; expired requests are "
+        "rejected with a distinct status and never executed",
+    )
+    serve.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="make roughly this fraction of requests fault-injecting "
+        "(recovered through the HostManager; default 0)",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        metavar="N",
+        help="open a workload's circuit breaker after N consecutive "
+        "failures (0 disables; default 5)",
+    )
+    serve.add_argument(
+        "--assert-conservation",
+        action="store_true",
+        help="exit nonzero unless every submitted request is accounted "
+        "for in exactly one outcome bucket",
+    )
+    serve.add_argument(
         "--assert-plan-reuse",
         action="store_true",
         help="exit nonzero unless graph/statement plans were built exactly "
@@ -944,6 +1032,48 @@ def build_parser():
         "--json", metavar="PATH", help="dump the RunReport as JSON (- for stdout)"
     )
     chaos.set_defaults(func=_cmd_chaos)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated PMLang programs checked "
+        "against five oracles (interpreter, plan, legacy pipeline, "
+        "fusion, fault-recovered runtime) with divergence minimization",
+    )
+    fuzz.add_argument(
+        "--programs", type=int, default=25,
+        help="number of generated programs (default 25)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="first program seed; program i uses seed+i (default 0)",
+    )
+    fuzz.add_argument(
+        "--campaigns",
+        default="all",
+        choices=("all", "smoke", "none"),
+        help="fault-campaign sweep for the faults oracle: 'all' sweeps "
+        "every fault kind x accelerated domain plus a mixed plan, "
+        "'smoke' injects one transient, 'none' skips faults (default all)",
+    )
+    fuzz.add_argument(
+        "--minimize",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="greedily minimize diverging programs to small reproducers "
+        "(default on; --no-minimize to skip)",
+    )
+    fuzz.add_argument(
+        "--json",
+        default="results/BENCH_resilience.json",
+        metavar="PATH",
+        help="validation-matrix JSON output (default "
+        "results/BENCH_resilience.json; - for stdout, 'none' to skip)",
+    )
+    fuzz.add_argument(
+        "--verbose", action="store_true",
+        help="print per-program progress lines",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     return parser
 

@@ -105,6 +105,32 @@ class QueueFullError(ServeError):
         self.retry_after = retry_after
 
 
+class DeadlineExceededError(ServeError):
+    """A request's deadline passed before it could execute.
+
+    Raised at admission when the deadline is already spent, and used as
+    the response's ``error_kind`` when a queued request expires before a
+    worker reaches its execute phase. An expired request is *never*
+    executed — rejecting late work is the service's deadline contract.
+    """
+
+
+class CircuitOpenError(ServeError):
+    """A workload's circuit breaker is open: the request was shed.
+
+    Carries ``retry_after`` (seconds until the breaker's cooldown elapses
+    and a half-open probe is admitted).
+    """
+
+    def __init__(self, message, retry_after=0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class CancelledError(ServeError):
+    """The client cancelled the request before it executed."""
+
+
 class RuntimeFailure(PolyMathError):
     """The fault-tolerant runtime exhausted its recovery options.
 

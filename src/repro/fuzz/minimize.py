@@ -1,0 +1,123 @@
+"""Greedy test-case minimization for diverging fuzz programs.
+
+Given a program and a predicate ("does this still diverge on the same
+oracle?"), the minimizer deletes one statement at a time — together with
+the whole dependency cone that dies with it — and keeps any deletion
+that preserves the failure, restarting the scan until a fixpoint. Output
+copies are then pruned down to the smallest set that still witnesses the
+divergence. The result is the thing a human actually debugs: typically
+one offending statement plus one output copy.
+"""
+
+from __future__ import annotations
+
+from ..srdfg.builder import build
+from ..srdfg.graph import COMPONENT, COMPUTE
+
+__all__ = ["minimize_program", "reproducer_size"]
+
+
+def _producers(program):
+    """Names readable without a statement writing them (arguments)."""
+    return {
+        spec.name
+        for spec in program.args
+        if spec.modifier in ("input", "param", "state")
+    }
+
+
+def _drop_cone(program, victim):
+    """The program without *victim* and everything depending on it.
+
+    Returns None when the removal would leave no output copy (such a
+    candidate cannot witness anything).
+    """
+    remaining = [s for s in program.statements if s is not victim]
+    base = _producers(program)
+    # Iteratively drop statements reading names nothing writes anymore.
+    changed = True
+    while changed:
+        changed = False
+        written = base | {s.writes for s in remaining}
+        alive = []
+        for stmt in remaining:
+            reads_ok = all(name in written for name in stmt.reads)
+            # A read-modify-write of a local needs an earlier writer.
+            if reads_ok and stmt.writes in stmt.reads:
+                earlier = any(
+                    other.writes == stmt.writes
+                    for other in remaining
+                    if other is not stmt
+                )
+                reads_ok = earlier or stmt.writes in base
+            if reads_ok:
+                alive.append(stmt)
+            else:
+                changed = True
+        remaining = alive
+    if not any(s.kind == "output" for s in remaining):
+        return None
+    return program.clone_with(remaining)
+
+
+def minimize_program(program, still_fails, max_candidates=200):
+    """Greedily shrink *program* while ``still_fails(candidate)`` holds.
+
+    *still_fails* must return True when the candidate reproduces the
+    original divergence (and must tolerate candidates that fail to build
+    — returning False skips them). *max_candidates* bounds the total
+    number of oracle re-runs, since each probe replays the failing
+    pipeline end to end.
+    """
+    current = program
+    probes = 0
+    improved = True
+    while improved and probes < max_candidates:
+        improved = False
+        removable = [s for s in current.statements if s.removable]
+        # Last statements first: their cones are smallest, so successful
+        # deletions early in the scan keep later probes cheap.
+        for victim in reversed(removable):
+            candidate = _drop_cone(current, victim)
+            if candidate is None or len(candidate.statements) >= len(
+                current.statements
+            ):
+                continue
+            probes += 1
+            try:
+                if still_fails(candidate):
+                    current = candidate
+                    improved = True
+                    break
+            except Exception:  # noqa: BLE001 — a crashing probe is a skip
+                continue
+            if probes >= max_candidates:
+                break
+    # Prune surplus output copies (keep at least one witness).
+    outputs = [s for s in current.statements if s.kind == "output"]
+    for victim in list(outputs):
+        if len([s for s in current.statements if s.kind == "output"]) <= 1:
+            break
+        candidate = current.clone_with(
+            [s for s in current.statements if s is not victim]
+        )
+        probes += 1
+        try:
+            if probes <= max_candidates and still_fails(candidate):
+                current = candidate
+        except Exception:  # noqa: BLE001
+            continue
+    return current
+
+
+def reproducer_size(program):
+    """Top-level compute/component node count of the rendered program.
+
+    The acceptance metric for minimization: a diverging statement pair
+    (the offending statement plus its output witness) builds to a
+    handful of compute nodes, not the dozens a full fuzz program carries.
+    """
+    graph = build(program.render(), domain="DA")
+    return sum(
+        1 for node in graph.nodes if node.kind in (COMPUTE, COMPONENT)
+    )

@@ -76,9 +76,20 @@ class _Unit:
 
 @dataclass
 class _Stage:
-    """One domain's program as an ordered unit list + its upstream deps."""
+    """One dispatchable segment of a domain's program + its upstream deps.
+
+    A domain whose cross-domain traffic is linear (all loads first, all
+    stores last) is a single segment named after the domain. Ping-pong
+    traffic — compute, hand off to a peer, consume the peer's result,
+    compute again — splits into multiple segments (``DA#0``, ``DA#1``,
+    ...) at each crossing load that follows already-scheduled work, so
+    the dependency DAG stays acyclic where the old one-stage-per-domain
+    plan manufactured a false DA <-> peer cycle and aborted fault-free
+    runs with a dependency violation.
+    """
 
     domain: str
+    name: str = ""
     units: List[_Unit] = field(default_factory=list)
     deps: set = field(default_factory=set)
 
@@ -103,54 +114,113 @@ class HostManager:
     def _stage_plan(self, compiled):
         """Ordered stages with data dependencies, from the compiled programs.
 
-        Dependencies come from the crossing load fragments' ``from_domain``
-        attrs; stage order is a topological sort of that DAG with the
-        compiler's (dataflow) insertion order breaking ties.
+        Each domain's fragment stream is split into segments at every
+        crossing load that follows already-scheduled work in the same
+        segment (see :class:`_Stage`). Dependencies are wired at buffer
+        granularity — a segment depends on the segment that *stores* each
+        buffer its loads consume — and the dispatch order is a
+        topological sort of that DAG with the compiler's (dataflow)
+        insertion order breaking ties.
         """
-        stages: Dict[str, _Stage] = {}
+        stages: List[_Stage] = []
         for domain, program in compiled.programs.items():
-            stage = _Stage(domain=domain)
+            parts: List[_Stage] = [_Stage(domain=domain)]
             burst: List = []
             burst_index = 0
-
-            def flush(stage=stage):
-                nonlocal burst, burst_index
+            #: Whether the current segment already dispatched work whose
+            #: results a later crossing load must not be reordered above.
+            dirty = False
+            for fragment in program.fragments:
+                if not fragment.attrs.get("crossing"):
+                    burst.append(fragment)
+                    continue
+                direction = fragment.op
+                peer = fragment.attrs.get("from_domain") or fragment.attrs.get(
+                    "to_domain"
+                )
+                names = fragment.inputs if direction == "load" else fragment.outputs
+                buffer = names[0][0] if names else ""
                 if burst:
-                    stage.units.append(
+                    parts[-1].units.append(
                         _Unit(
                             kind="compute",
-                            label=f"{stage.domain}.k{burst_index}",
+                            label=f"{domain}.k{burst_index}",
                             fragments=tuple(burst),
                         )
                     )
                     burst = []
                     burst_index += 1
+                    dirty = True
+                if direction == "load" and dirty:
+                    # Ping-pong traffic: this segment already computed or
+                    # stored, and now needs fresh upstream data. Start a
+                    # new segment so the producer can run in between.
+                    parts.append(_Stage(domain=domain))
+                    dirty = False
+                parts[-1].units.append(
+                    _Unit(
+                        kind="dma",
+                        label=f"{domain}.{direction}[{buffer}]",
+                        direction=direction,
+                        peer=peer,
+                        buffer=buffer,
+                        nbytes=fragment.attrs.get("nbytes", 0),
+                    )
+                )
+                if direction == "store":
+                    dirty = True
+            if burst:
+                parts[-1].units.append(
+                    _Unit(
+                        kind="compute",
+                        label=f"{domain}.k{burst_index}",
+                        fragments=tuple(burst),
+                    )
+                )
+            for ordinal, stage in enumerate(parts):
+                stage.name = (
+                    domain if len(parts) == 1 else f"{domain}#{ordinal}"
+                )
+                # A device executes its own program sequentially.
+                if ordinal:
+                    stage.deps.add(parts[ordinal - 1].name)
+            stages.extend(parts)
 
-            for fragment in program.fragments:
-                if fragment.attrs.get("crossing"):
-                    flush()
-                    direction = fragment.op
-                    peer = fragment.attrs.get("from_domain") or fragment.attrs.get(
-                        "to_domain"
-                    )
-                    names = fragment.inputs if direction == "load" else fragment.outputs
-                    buffer = names[0][0] if names else ""
-                    stage.units.append(
-                        _Unit(
-                            kind="dma",
-                            label=f"{domain}.{direction}[{buffer}]",
-                            direction=direction,
-                            peer=peer,
-                            buffer=buffer,
-                            nbytes=fragment.attrs.get("nbytes", 0),
-                        )
-                    )
-                    if direction == "load" and peer is not None:
-                        stage.deps.add(peer)
-                else:
-                    burst.append(fragment)
-            flush()
-            stages[domain] = stage
+        # Cross-domain dependency wiring: a load depends on the peer
+        # segment that stores the buffer it consumes. Component
+        # boundaries rename buffers (the producer stores the caller's
+        # name, the consumer loads the formal-parameter name), so loads
+        # that match no store by name are paired with the peer's stores
+        # in channel FIFO order instead.
+        producers: Dict[str, str] = {}
+        channel_stores: Dict[tuple, List[str]] = {}
+        for stage in stages:
+            for unit in stage.units:
+                if unit.kind == "dma" and unit.direction == "store":
+                    producers.setdefault(unit.buffer, stage.name)
+                    channel_stores.setdefault(
+                        (stage.domain, unit.peer), []
+                    ).append(stage.name)
+        last_of: Dict[str, str] = {}
+        for stage in stages:
+            last_of[stage.domain] = stage.name
+        channel_loads: Dict[tuple, int] = {}
+        for stage in stages:
+            for unit in stage.units:
+                if unit.kind != "dma" or unit.direction != "load":
+                    continue
+                producer = producers.get(unit.buffer)
+                if producer is None and unit.peer is not None:
+                    channel = (unit.peer, stage.domain)
+                    index = channel_loads.get(channel, 0)
+                    channel_loads[channel] = index + 1
+                    stores = channel_stores.get(channel)
+                    if stores:
+                        producer = stores[min(index, len(stores) - 1)]
+                    else:
+                        producer = last_of.get(unit.peer)
+                if producer is not None and producer != stage.name:
+                    stage.deps.add(producer)
 
         # Kahn's algorithm; ready stages dispatch in compiler order.
         order: List[_Stage] = []
@@ -158,17 +228,17 @@ class HostManager:
         pending = list(stages)
         while pending:
             progressed = False
-            for domain in list(pending):
-                if stages[domain].deps - done:
+            for stage in list(pending):
+                if stage.deps - done:
                     continue
-                order.append(stages[domain])
-                done.add(domain)
-                pending.remove(domain)
+                order.append(stage)
+                done.add(stage.name)
+                pending.remove(stage)
                 progressed = True
             if not progressed:
-                # Cyclic cross-domain traffic (ping-pong pipelines):
-                # fall back to compiler order for the remainder.
-                order.extend(stages[domain] for domain in pending)
+                # Genuinely cyclic cross-domain traffic: fall back to
+                # compiler order for the remainder.
+                order.extend(pending)
                 break
         return order
 
@@ -281,7 +351,7 @@ class HostManager:
             if not stage_ok:
                 ok = False
                 break
-            run_state.completed_stages.add(stage.domain)
+            run_state.completed_stages.add(stage.name)
 
         report.completed = ok
         if ok:

@@ -39,7 +39,12 @@ class RecoveryPolicy:
 
     def backoff_s(self, failures):
         """Seconds to wait before the retry following failure *failures* (1-based)."""
-        delay = self.backoff_base_s * self.backoff_factor ** max(0, failures - 1)
+        try:
+            delay = self.backoff_base_s * self.backoff_factor ** max(0, failures - 1)
+        except OverflowError:
+            # factor**k exceeds float range after ~1000 doublings; any
+            # such delay is far past the cap anyway.
+            return self.backoff_cap_s
         return min(self.backoff_cap_s, delay)
 
     def watchdog_budget_s(self, expected_s):

@@ -10,7 +10,14 @@ counter-based plan-reuse evidence). See the "Serving layer" section of
 ``docs/ARCHITECTURE.md``.
 """
 
-from ..errors import QueueFullError, ServeError
+from ..errors import (
+    CancelledError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    QueueFullError,
+    ServeError,
+)
+from .breaker import BreakerBoard, CircuitBreaker
 from .loadgen import DEFAULT_MIX, replay, run_serial, synth_trace
 from .metrics import RequestMetrics, ServeReport, percentile
 from .pool import WorkerPool
@@ -26,7 +33,12 @@ from .scheduler import Scheduler
 from .server import Server, Ticket
 
 __all__ = [
+    "BreakerBoard",
+    "CancelledError",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "DEFAULT_MIX",
+    "DeadlineExceededError",
     "PRIORITY_HIGH",
     "PRIORITY_LOW",
     "PRIORITY_NORMAL",

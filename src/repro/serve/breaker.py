@@ -1,0 +1,169 @@
+"""Per-workload circuit breakers for the serving layer.
+
+A workload whose executions keep failing (a miscompiling source, an
+accelerator crash loop, a poisoned cache entry) should stop consuming
+workers: a :class:`CircuitBreaker` counts consecutive failures and, past
+a threshold, *opens* — requests for that workload are shed at admission
+with :class:`~repro.errors.CircuitOpenError` instead of queued. After a
+cooldown the breaker turns *half-open* and admits exactly one probe
+request; the probe's success closes the breaker, its failure reopens it
+for another cooldown. :class:`BreakerBoard` keys one breaker per
+workload and is what the :class:`~repro.serve.server.Server` consults at
+admission and feeds at request completion.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "CircuitBreaker", "BreakerBoard"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker: closed -> open -> half-open -> ...
+
+    *threshold* consecutive failures open the breaker; *cooldown_s* later
+    it half-opens and admits a single probe. *clock* is injectable so
+    tests can step time instead of sleeping.
+    """
+
+    def __init__(self, threshold=5, cooldown_s=0.25, clock=time.monotonic):
+        if threshold < 1:
+            raise ValueError(f"breaker threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        #: Observability: trips, shed requests, probes admitted.
+        self.opened = 0
+        self.rejected = 0
+        self.probes = 0
+
+    @property
+    def state(self):
+        with self._lock:
+            # Report the lapse to half-open even before the next allow().
+            if self._state == OPEN and self._cooldown_elapsed():
+                return HALF_OPEN
+            return self._state
+
+    def _cooldown_elapsed(self):
+        return self._clock() - self._opened_at >= self.cooldown_s
+
+    def allow(self):
+        """May a request pass? Returns ``(allowed, retry_after_s)``."""
+        with self._lock:
+            if self._state == CLOSED:
+                return True, 0.0
+            if self._state == OPEN:
+                if not self._cooldown_elapsed():
+                    self.rejected += 1
+                    remaining = self.cooldown_s - (self._clock() - self._opened_at)
+                    return False, max(0.0, remaining)
+                self._state = HALF_OPEN
+                self._probe_in_flight = False
+            # Half-open: exactly one probe request in flight at a time.
+            if self._probe_in_flight:
+                self.rejected += 1
+                return False, self.cooldown_s
+            self._probe_in_flight = True
+            self.probes += 1
+            return True, 0.0
+
+    def record(self, ok):
+        """Feed one execution outcome back into the breaker."""
+        with self._lock:
+            if ok:
+                self._state = CLOSED
+                self._consecutive_failures = 0
+                self._probe_in_flight = False
+                return
+            self._consecutive_failures += 1
+            if self._state == OPEN:
+                # A straggler admitted before the trip; the cooldown
+                # already started, don't restart it.
+                return
+            if (
+                self._state == HALF_OPEN
+                or self._consecutive_failures >= self.threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probe_in_flight = False
+                self.opened += 1
+
+    def counters(self):
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "opened": self.opened,
+            "rejected": self.rejected,
+            "probes": self.probes,
+        }
+
+
+class BreakerBoard:
+    """One :class:`CircuitBreaker` per workload, created on first use."""
+
+    def __init__(self, threshold=5, cooldown_s=0.25, clock=time.monotonic):
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    @property
+    def enabled(self):
+        return self.threshold > 0
+
+    def breaker(self, workload):
+        with self._lock:
+            instance = self._breakers.get(workload)
+            if instance is None:
+                instance = CircuitBreaker(
+                    threshold=self.threshold,
+                    cooldown_s=self.cooldown_s,
+                    clock=self._clock,
+                )
+                self._breakers[workload] = instance
+            return instance
+
+    def allow(self, workload):
+        if not self.enabled:
+            return True, 0.0
+        return self.breaker(workload).allow()
+
+    def record(self, workload, ok):
+        if not self.enabled:
+            return
+        self.breaker(workload).record(ok)
+
+    def snapshot(self):
+        """Per-workload breaker counters (ServeReport's ``breakers``)."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {name: breaker.counters() for name, breaker in breakers.items()}
+
+    def counters(self):
+        """Flat counters (the ``breaker`` MetricsRegistry source)."""
+        snapshot = self.snapshot()
+        return {
+            "workloads": len(snapshot),
+            "open": sum(1 for c in snapshot.values() if c["state"] == OPEN),
+            "half_open": sum(
+                1 for c in snapshot.values() if c["state"] == HALF_OPEN
+            ),
+            "opened": sum(c["opened"] for c in snapshot.values()),
+            "rejected": sum(c["rejected"] for c in snapshot.values()),
+            "probes": sum(c["probes"] for c in snapshot.values()),
+        }

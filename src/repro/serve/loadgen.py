@@ -16,7 +16,7 @@ import random
 import time
 from typing import List, Optional
 
-from ..errors import QueueFullError
+from ..errors import CircuitOpenError, DeadlineExceededError, QueueFullError
 from .request import (
     PRIORITY_HIGH,
     PRIORITY_LOW,
@@ -36,16 +36,27 @@ def synth_trace(
     seed=0,
     max_steps=4,
     precision="f64",
+    deadline_s=None,
+    fault_rate=0.0,
+    fault_specs=("transient:p=0.5:n=2",),
 ):
     """A deterministic mixed-workload trace of *requests* requests.
 
     Workloads round-robin with jitter, step counts and priorities draw
     from a seeded RNG: roughly 70% normal / 15% high / 15% low priority,
-    1..*max_steps* invocations each.
+    1..*max_steps* invocations each. *deadline_s* stamps every request
+    with that deadline; *fault_rate* makes roughly that fraction of
+    requests fault-injecting (with *fault_specs* and a per-request seed),
+    routing them through the recovering HostManager.
     """
     if not workloads:
         raise ValueError("synth_trace needs at least one workload")
     rng = random.Random(seed)
+    # Fault coins and per-request seeds draw from a separate derived
+    # stream so the workload/steps/priority sequence for a given seed is
+    # identical whether or not fault injection is enabled (and identical
+    # to traces generated before these fields existed).
+    aux = random.Random((seed << 16) ^ 0xA5A5)
     trace: List[Request] = []
     for index in range(requests):
         draw = rng.random()
@@ -55,12 +66,18 @@ def synth_trace(
             priority = PRIORITY_LOW
         else:
             priority = PRIORITY_NORMAL
+        inject = ()
+        if fault_rate > 0 and aux.random() < fault_rate:
+            inject = tuple(fault_specs)
         trace.append(
             Request(
                 workload=workloads[rng.randrange(len(workloads))],
                 steps=rng.randint(1, max(1, max_steps)),
                 precision=precision,
                 priority=priority,
+                deadline_s=deadline_s,
+                inject=inject,
+                seed=aux.randrange(1 << 16),
             )
         )
     return trace
@@ -72,7 +89,14 @@ def replay(server, trace, retry=True, timeout=120.0):
     Responses come back in trace order. A :class:`QueueFullError` is
     handled the way a well-behaved client would: wait the server's
     ``retry_after`` hint and resubmit (``retry=True``), or give up on
-    that request (``retry=False`` — it yields a None response slot).
+    that request (``retry=False`` — it yields a None response slot). A
+    :class:`CircuitOpenError` or admission-time
+    :class:`DeadlineExceededError` always yields a None slot (the server
+    already counted the request as shed/expired — resubmitting shed load
+    is exactly what a breaker exists to stop). A ticket whose ``wait``
+    times out is abandoned (so the :class:`ServeReport` counts it as
+    ``timed_out``, not silently dropped) and yields a None slot — unless
+    the response landed in the race window, in which case it is used.
     """
     tickets = []
     backpressure_retries = 0
@@ -87,10 +111,23 @@ def replay(server, trace, retry=True, timeout=120.0):
                     break
                 backpressure_retries += 1
                 time.sleep(max(exc.retry_after, 0.001))
-    responses = [
-        ticket.wait(timeout=timeout) if ticket is not None else None
-        for ticket in tickets
-    ]
+            except (CircuitOpenError, DeadlineExceededError):
+                tickets.append(None)
+                break
+    responses = []
+    for ticket in tickets:
+        if ticket is None:
+            responses.append(None)
+            continue
+        try:
+            responses.append(ticket.wait(timeout=timeout))
+        except TimeoutError:
+            if ticket.abandon():
+                responses.append(None)
+            else:
+                # The response landed between the wait timeout and the
+                # abandon — use it rather than discarding real work.
+                responses.append(ticket.response)
     return responses, backpressure_retries
 
 

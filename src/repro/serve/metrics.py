@@ -45,6 +45,9 @@ class RequestMetrics:
     plan_provenance: str = ""
     worker: str = ""
     ok: bool = True
+    #: "completed" | "failed" | "expired" | "cancelled" | "timed_out"
+    #: (the server's finish-time classification; empty until finished).
+    outcome: str = ""
 
     @property
     def queue_seconds(self):
@@ -67,6 +70,7 @@ class RequestMetrics:
             "steps": self.steps,
             "worker": self.worker,
             "ok": self.ok,
+            "outcome": self.outcome,
             "queue_seconds": self.queue_seconds,
             "compile_seconds": self.compile_seconds,
             "plan_seconds": self.plan_seconds,
@@ -85,9 +89,22 @@ class ServeReport:
     workers: int = 0
     queue_capacity: int = 0
     wall_seconds: float = 0.0
+    submitted: int = 0
     completed: int = 0
     failed: int = 0
     rejected: int = 0
+    #: Deadline expirations (at admission or before execute) — an
+    #: expired request is never executed.
+    expired: int = 0
+    #: Client cancellations honoured before execution.
+    cancelled: int = 0
+    #: Requests shed at admission by an open circuit breaker.
+    breaker_rejected: int = 0
+    #: Tickets the client abandoned after ``wait`` timed out (the server
+    #: still finishes them; they are counted here, not as completed).
+    timed_out: int = 0
+    #: Per-workload circuit-breaker counters at report time.
+    breakers: Dict[str, Dict[str, object]] = field(default_factory=dict)
     queue_peak: int = 0
     #: Counter-based plan-reuse evidence (PLAN_STATS delta vs expectation).
     plans_built: int = 0
@@ -105,6 +122,24 @@ class ServeReport:
     @property
     def total(self):
         return self.completed + self.failed
+
+    @property
+    def accounted(self):
+        """Every submission lands in exactly one bucket."""
+        return (
+            self.completed
+            + self.failed
+            + self.rejected
+            + self.expired
+            + self.cancelled
+            + self.breaker_rejected
+            + self.timed_out
+        )
+
+    @property
+    def conservation_ok(self):
+        """True when no request was lost or double-counted."""
+        return self.accounted == self.submitted
 
     @property
     def throughput(self):
@@ -157,9 +192,19 @@ class ServeReport:
             "workers": self.workers,
             "queue_capacity": self.queue_capacity,
             "wall_seconds": self.wall_seconds,
+            "submitted": self.submitted,
             "completed": self.completed,
             "failed": self.failed,
             "rejected": self.rejected,
+            "expired": self.expired,
+            "cancelled": self.cancelled,
+            "breaker_rejected": self.breaker_rejected,
+            "timed_out": self.timed_out,
+            "conservation_ok": self.conservation_ok,
+            "breakers": {
+                name: dict(counts)
+                for name, counts in sorted(self.breakers.items())
+            },
             "queue_peak": self.queue_peak,
             "throughput_rps": self.throughput,
             "latency": {
@@ -192,6 +237,26 @@ class ServeReport:
             f"({self.workers} worker(s), queue capacity "
             f"{self.queue_capacity}, peak depth {self.queue_peak})"
         ]
+        if self.expired or self.cancelled or self.breaker_rejected or self.timed_out:
+            lines.append(
+                f"  resilience: {self.expired} expired, {self.cancelled} "
+                f"cancelled, {self.breaker_rejected} breaker-rejected, "
+                f"{self.timed_out} timed out"
+            )
+        if self.submitted:
+            verdict = "ok" if self.conservation_ok else "VIOLATED"
+            lines.append(
+                f"  accounting {verdict}: {self.accounted} accounted of "
+                f"{self.submitted} submitted"
+            )
+        for name in sorted(self.breakers):
+            counts = self.breakers[name]
+            if counts.get("opened"):
+                lines.append(
+                    f"  breaker {name}: {counts['state']}, opened "
+                    f"{counts['opened']}x, shed {counts['rejected']}, "
+                    f"probes {counts['probes']}"
+                )
         lines.append(
             f"  wall {self.wall_seconds:.3f} s, throughput "
             f"{self.throughput:.1f} req/s"

@@ -12,6 +12,7 @@ sessions warmed from the disk cache tier) can slot in behind the same
 from __future__ import annotations
 
 import threading
+import time
 import traceback
 
 
@@ -63,9 +64,19 @@ class WorkerPool:
         return self
 
     def join(self, timeout=None):
-        """Wait for every worker to exit (close the scheduler first)."""
+        """Wait for every worker to exit (close the scheduler first).
+
+        *timeout* bounds the whole join, not each thread: the threads
+        share one deadline, so a caller asking for 2 s waits at most
+        ~2 s even with eight stuck workers (per-thread timeouts would
+        wait workers x timeout).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         for thread in self._threads:
-            thread.join(timeout=timeout)
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            thread.join(timeout=remaining)
         return all(not thread.is_alive() for thread in self._threads)
 
     @property

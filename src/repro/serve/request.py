@@ -49,6 +49,11 @@ class Request:
     #: Per-request recovery budget (HostManager policy passthrough).
     retries: int = 3
     host_fallback: bool = True
+    #: Seconds from submission until the response is worthless. The
+    #: server checks it at admission and again before executing; an
+    #: expired request is answered with ``DeadlineExceededError`` and is
+    #: never executed. None means no deadline.
+    deadline_s: Optional[float] = None
     #: Assigned at submission; unique within one server.
     request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
 
@@ -66,6 +71,8 @@ class Request:
                 self.priority_name]
         if self.inject:
             tags.append("+".join(self.inject))
+        if self.deadline_s is not None:
+            tags.append(f"dl={self.deadline_s:g}s")
         return " ".join(tags)
 
     def config_key(self):

@@ -39,11 +39,18 @@ from typing import Dict, List
 import numpy as np
 
 from ..driver import CompilerSession
-from ..errors import PolyMathError
+from ..errors import (
+    CancelledError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    PolyMathError,
+    QueueFullError,
+)
 from ..obs import MetricsRegistry, NULL_TRACER
 from ..srdfg.plan import PLAN_STATS
 from ..targets import default_accelerators
 from ..workloads import get_workload
+from .breaker import BreakerBoard
 from .metrics import RequestMetrics, ServeReport
 from .pool import WorkerPool
 from .request import Request, Response, result_signature
@@ -55,13 +62,20 @@ __all__ = ["Server", "Ticket"]
 class Ticket:
     """Client-side handle for one submitted request."""
 
-    __slots__ = ("request", "metrics", "response", "_event")
+    __slots__ = (
+        "request", "metrics", "response", "deadline_at",
+        "_event", "_cancelled", "_abandoned",
+    )
 
     def __init__(self, request, metrics):
         self.request = request
         self.metrics = metrics
         self.response = None
+        #: Absolute (perf_counter) deadline, set at submission.
+        self.deadline_at = None
         self._event = threading.Event()
+        self._cancelled = False
+        self._abandoned = False
 
     def _finish(self, response):
         self.response = response
@@ -69,6 +83,51 @@ class Ticket:
 
     def done(self):
         return self._event.is_set()
+
+    def cancel(self):
+        """Cooperative cancellation: ask the server not to execute this.
+
+        Returns True when the request had not finished yet — the worker
+        that dequeues it will answer with ``CancelledError`` instead of
+        executing. Returns False when the response already exists (too
+        late; read ``response``). A request already mid-execution when
+        the flag is checked still runs to completion — cancellation is
+        checked before the execute phase, never mid-kernel.
+        """
+        if self._event.is_set():
+            return False
+        self._cancelled = True
+        return True
+
+    @property
+    def cancelled(self):
+        return self._cancelled
+
+    def abandon(self):
+        """The client stopped waiting (``wait`` timed out).
+
+        The server still finishes the request — there is no way to yank
+        a running worker — but the finish-time classification counts it
+        as ``timed_out`` rather than completed, so the report reflects
+        what the client observed. Returns False when the response landed
+        first (not abandoned; read ``response``).
+        """
+        if self._event.is_set():
+            return False
+        self._abandoned = True
+        return True
+
+    @property
+    def abandoned(self):
+        return self._abandoned
+
+    def expired(self, now=None):
+        """Has this ticket's deadline passed (at *now* or right now)?"""
+        if self.deadline_at is None:
+            return False
+        if now is None:
+            now = time.perf_counter()
+        return now >= self.deadline_at
 
     def wait(self, timeout=None):
         """Block until the response is ready; returns the Response."""
@@ -91,6 +150,8 @@ class Server:
         emulate_device=0.0,
         cache_dir=None,
         tracer=None,
+        breaker_threshold=5,
+        breaker_cooldown_s=0.25,
     ):
         #: One tracer spans the whole request lifecycle: serve-level
         #: request/queue-wait spans here, session/pass/plan spans through
@@ -112,6 +173,11 @@ class Server:
         #: Seconds of emulated accelerator occupancy per modelled device
         #: second (0 disables emulation; 1.0 is real-time).
         self.emulate_device = emulate_device
+        #: Per-workload circuit breakers consulted at admission and fed
+        #: at completion (threshold <= 0 disables them).
+        self.breakers = BreakerBoard(
+            threshold=breaker_threshold, cooldown_s=breaker_cooldown_s
+        )
 
         self._lock = threading.Lock()
         self._outstanding = 0
@@ -122,8 +188,14 @@ class Server:
         self._tickets: List[Ticket] = []
         self._distinct_configs = set()
         self._built_plans: List[object] = []
+        self._submitted = 0
         self._completed = 0
         self._failed = 0
+        self._rejected = 0
+        self._expired = 0
+        self._cancelled = 0
+        self._breaker_rejected = 0
+        self._timed_out = 0
         self._started_at = None
         self._stopped_at = None
         self._stats_base = PLAN_STATS.snapshot()
@@ -157,27 +229,62 @@ class Server:
         """Admit *request*; returns a :class:`Ticket`.
 
         Raises :class:`~repro.errors.QueueFullError` when the admission
-        queue is at capacity (carrying a ``retry_after`` estimate).
+        queue is at capacity (carrying a ``retry_after`` estimate),
+        :class:`~repro.errors.CircuitOpenError` when the workload's
+        circuit breaker is shedding load, and
+        :class:`~repro.errors.DeadlineExceededError` when the request's
+        deadline is already spent at admission.
         """
         if not isinstance(request, Request):
             raise TypeError(f"expected a Request, got {type(request).__name__}")
+        with self._lock:
+            self._submitted += 1
+        allowed, retry_after = self.breakers.allow(request.workload)
+        if not allowed:
+            with self._lock:
+                self._breaker_rejected += 1
+            self.tracer.instant(
+                "breaker-rejected", category="serve",
+                request_id=request.request_id, workload=request.workload,
+            )
+            raise CircuitOpenError(
+                f"circuit breaker for workload {request.workload!r} is "
+                f"open; retry after {retry_after:.3f}s",
+                retry_after=retry_after,
+            )
+        now = time.perf_counter()
+        if request.deadline_s is not None and request.deadline_s <= 0:
+            with self._lock:
+                self._expired += 1
+            self.tracer.instant(
+                "expired", category="serve",
+                request_id=request.request_id, workload=request.workload,
+            )
+            raise DeadlineExceededError(
+                f"request {request.request_id} deadline "
+                f"({request.deadline_s:g}s) already spent at admission"
+            )
         metrics = RequestMetrics(
             request_id=request.request_id,
             workload=request.workload,
             priority=request.priority_name,
             steps=request.steps,
-            enqueued_at=time.perf_counter(),
+            enqueued_at=now,
         )
         ticket = Ticket(request, metrics)
+        if request.deadline_s is not None:
+            ticket.deadline_at = now + request.deadline_s
         with self._lock:
             self._outstanding += 1
             self._tickets.append(ticket)
         try:
             self.scheduler.submit(request.priority, ticket)
-        except BaseException:
+        except BaseException as exc:
             with self._lock:
                 self._outstanding -= 1
                 self._tickets.remove(ticket)
+                if isinstance(exc, QueueFullError):
+                    self._rejected += 1
             self.tracer.instant(
                 "rejected", category="serve",
                 request_id=request.request_id, workload=request.workload,
@@ -247,23 +354,46 @@ class Server:
         metrics.worker = worker_name
         metrics.started_at = time.perf_counter()
         response = Response(request=request)
-        with self.tracer.span(
-            f"request {request.request_id}", category="serve",
-            workload=request.workload, worker=worker_name,
-            steps=request.steps,
-        ) as span:
-            try:
-                self._serve_one(request, metrics, response)
-            except PolyMathError as exc:
-                response.error = str(exc)
-                response.error_kind = type(exc).__name__
-            except Exception as exc:  # defensive: never poison the worker
-                response.error = str(exc)
-                response.error_kind = type(exc).__name__
-            span.note(
-                ok=response.ok,
-                **({"error_kind": response.error_kind} if response.error else {}),
+        if ticket.cancelled:
+            # Cooperative cancellation: honoured before any work starts.
+            response.error = (
+                f"request {request.request_id} cancelled before execution"
             )
+            response.error_kind = "CancelledError"
+            self.tracer.instant(
+                "cancelled", category="serve", request_id=request.request_id,
+            )
+        elif ticket.expired(metrics.started_at):
+            # The deadline passed while the ticket sat in the queue.
+            # Expired work is answered, never executed.
+            late = metrics.started_at - ticket.deadline_at
+            response.error = (
+                f"request {request.request_id} deadline "
+                f"({request.deadline_s:g}s) expired {late:.3f}s before "
+                "execution"
+            )
+            response.error_kind = "DeadlineExceededError"
+            self.tracer.instant(
+                "expired", category="serve", request_id=request.request_id,
+            )
+        else:
+            with self.tracer.span(
+                f"request {request.request_id}", category="serve",
+                workload=request.workload, worker=worker_name,
+                steps=request.steps,
+            ) as span:
+                try:
+                    self._serve_one(request, metrics, response, ticket)
+                except PolyMathError as exc:
+                    response.error = str(exc)
+                    response.error_kind = type(exc).__name__
+                except Exception as exc:  # defensive: never poison the worker
+                    response.error = str(exc)
+                    response.error_kind = type(exc).__name__
+                span.note(
+                    ok=response.ok,
+                    **({"error_kind": response.error_kind} if response.error else {}),
+                )
         if self.tracer.enabled:
             # Retroactive span for the time the ticket sat in the
             # admission queue (only measurable once dequeued).
@@ -276,19 +406,42 @@ class Server:
         metrics.finished_at = time.perf_counter()
         metrics.ok = response.ok
         response.metrics = metrics
+        # Finish-time classification: every ticket lands in exactly one
+        # bucket. An abandoned ticket counts as timed_out regardless of
+        # how its (now unobserved) response turned out, because that is
+        # what the client experienced.
+        executed = response.error_kind not in (
+            "CancelledError", "DeadlineExceededError"
+        )
         with self._lock:
-            if response.ok:
+            if ticket.abandoned:
+                metrics.outcome = "timed_out"
+                self._timed_out += 1
+            elif response.error_kind == "CancelledError":
+                metrics.outcome = "cancelled"
+                self._cancelled += 1
+            elif response.error_kind == "DeadlineExceededError":
+                metrics.outcome = "expired"
+                self._expired += 1
+            elif response.ok:
+                metrics.outcome = "completed"
                 self._completed += 1
             else:
+                metrics.outcome = "failed"
                 self._failed += 1
             self._recent_service.append(metrics.service_seconds)
+        if executed:
+            # Only genuine execution outcomes drive the breaker — a
+            # deadline expiry or cancellation says nothing about the
+            # workload's health.
+            self.breakers.record(request.workload, response.ok)
         ticket._finish(response)
         with self._drained:
             self._outstanding -= 1
             if not self._outstanding:
                 self._drained.notify_all()
 
-    def _serve_one(self, request, metrics, response):
+    def _serve_one(self, request, metrics, response, ticket=None):
         workload = self._workload(request.workload)
         accelerators = default_accelerators(
             getattr(workload, "accelerator_overrides", None)
@@ -320,6 +473,19 @@ class Server:
         if self.emulate_device > 0:
             device_seconds = (
                 self._modeled_device_seconds(request, app) * self.emulate_device
+            )
+
+        # The last line of deadline defence: compile/plan may have eaten
+        # the budget. Past this point the request really executes.
+        if ticket is not None and ticket.expired():
+            raise DeadlineExceededError(
+                f"request {request.request_id} deadline "
+                f"({request.deadline_s:g}s) expired after compile/plan; "
+                "refusing to execute"
+            )
+        if ticket is not None and ticket.cancelled:
+            raise CancelledError(
+                f"request {request.request_id} cancelled before execution"
             )
 
         start = time.perf_counter()
@@ -399,8 +565,14 @@ class Server:
         """Server-level tallies (the ``serve`` MetricsRegistry source)."""
         with self._lock:
             return {
+                "submitted": self._submitted,
                 "completed": self._completed,
                 "failed": self._failed,
+                "rejected": self._rejected,
+                "expired": self._expired,
+                "cancelled": self._cancelled,
+                "breaker_rejected": self._breaker_rejected,
+                "timed_out": self._timed_out,
                 "outstanding": self._outstanding,
                 "distinct_configs": len(self._distinct_configs),
             }
@@ -434,6 +606,7 @@ class Server:
         registry.register("scheduler", self.scheduler.counters)
         registry.register("serve", self._serve_counters)
         registry.register("pool", self._pool_counters)
+        registry.register("breaker", self.breakers.counters)
         return registry
 
     def report(self):
@@ -443,17 +616,29 @@ class Server:
             tickets = list(self._tickets)
             built_plans = list(self._built_plans)
             distinct = len(self._distinct_configs)
+            submitted = self._submitted
             completed = self._completed
             failed = self._failed
+            rejected = self._rejected
+            expired = self._expired
+            cancelled = self._cancelled
+            breaker_rejected = self._breaker_rejected
+            timed_out = self._timed_out
         stopped = self._stopped_at or time.perf_counter()
         started = self._started_at or stopped
         report = ServeReport(
             workers=self.workers,
             queue_capacity=self.scheduler.capacity,
             wall_seconds=max(0.0, stopped - started),
+            submitted=submitted,
             completed=completed,
             failed=failed,
-            rejected=self.scheduler.rejected,
+            rejected=rejected,
+            expired=expired,
+            cancelled=cancelled,
+            breaker_rejected=breaker_rejected,
+            timed_out=timed_out,
+            breakers=self.breakers.snapshot(),
             queue_peak=self.scheduler.peak_depth,
             plans_built=stats.graphs_planned - self._stats_base.graphs_planned,
             statements_planned=(

@@ -333,6 +333,186 @@ class TestRuntimeFaults:
             parse_fault_spec("stall@DA:frequency=often")
 
 
+#: Cross-domain ping-pong: DSP -> DA -> DSP -> DA. Regression source for
+#: the stage-planning bug the fuzzer found — one-stage-per-domain
+#: planning manufactured a false DA<->DSP dependency cycle here.
+PING_PONG_SOURCE = (
+    "f(input float x[4], output float y[4]) { index i[0:3]; y[i] = x[i]*2.0; }\n"
+    "g(input float y[4], output float z[4]) { index i[0:3]; z[i] = y[i]+1.0; }\n"
+    "main(input float x[4], output float z[4]) "
+    "{ float u[4], v[4], w[4]; "
+    "DSP: f(x, u); DA: g(u, v); DSP: f(v, w); DA: g(w, z); }"
+)
+
+
+@pytest.fixture(scope="module")
+def ping_pong_app():
+    session = CompilerSession(default_accelerators())
+    return session.compile(PING_PONG_SOURCE, domain="DSP")
+
+
+class TestPingPongStaging:
+    """Ping-pong traffic needs per-segment stages, not one per domain."""
+
+    INPUTS = {"x": np.arange(4.0)}
+
+    def test_fault_free_ping_pong_runs_and_matches_analytic_result(
+        self, ping_pong_app
+    ):
+        manager = HostManager(ping_pong_app.accelerators)
+        report = manager.run(ping_pong_app, inputs=self.INPUTS)
+        assert report.completed
+        # z = ((x*2 + 1)*2) + 1
+        np.testing.assert_array_equal(
+            report.result.outputs["z"], np.arange(4.0) * 4.0 + 3.0
+        )
+
+    def test_stage_plan_segments_domains_and_orders_dependencies(
+        self, ping_pong_app
+    ):
+        manager = HostManager(ping_pong_app.accelerators)
+        stages = manager._stage_plan(ping_pong_app)
+        # The alternation forces at least one domain to split into
+        # multiple segments (the old planner emitted one stage per
+        # domain and deadlocked on the resulting false cycle).
+        per_domain = {}
+        for stage in stages:
+            per_domain.setdefault(stage.domain, []).append(stage.name)
+        assert max(len(names) for names in per_domain.values()) > 1
+        names = [stage.name for stage in stages]
+        assert len(names) == len(set(names))
+        # Kahn order: every dependency resolves strictly earlier.
+        seen = set()
+        for stage in stages:
+            assert stage.deps <= seen, (
+                f"stage {stage.name} depends on {stage.deps - seen} "
+                "which never ran"
+            )
+            seen.add(stage.name)
+
+    @pytest.mark.parametrize(
+        "kind", ["transient", "stall", "dma-corrupt", "crash"]
+    )
+    def test_ping_pong_recovers_bit_identically_from_every_fault_kind(
+        self, ping_pong_app, kind
+    ):
+        manager = HostManager(ping_pong_app.accelerators)
+        baseline = manager.run(ping_pong_app, inputs=self.INPUTS)
+        plan = FaultPlan(specs=(FaultSpec(kind=kind, domain="DA"),), seed=3)
+        report = manager.run(
+            ping_pong_app, inputs=self.INPUTS, fault_plan=plan
+        )
+        assert report.completed
+        assert report.faults_injected == 1
+        np.testing.assert_array_equal(
+            report.result.outputs["z"], baseline.result.outputs["z"]
+        )
+
+
+class TestRecoveryPolicyEdges:
+    """RecoveryPolicy corner cases: spec matrices, saturation, exhaustion."""
+
+    @pytest.mark.parametrize("domain", [None, "DSP", "DA"])
+    @pytest.mark.parametrize(
+        "kind", ["transient", "stall", "crash", "dma-corrupt"]
+    )
+    def test_spec_matrix_parses_with_occurrence_schedule(self, kind, domain):
+        text = kind if domain is None else f"{kind}@{domain}"
+        spec = parse_fault_spec(f"{text}:at=1,3")
+        assert spec.kind == kind
+        assert spec.domain == domain
+        assert spec.at == (1, 3)
+        assert spec.probability is None
+        if domain is not None:
+            # Rendering round-trips through the parser (the any-domain
+            # wildcard renders as ``@*``, which is display-only).
+            again = parse_fault_spec(spec.render())
+            assert (again.kind, again.domain, again.at) == (
+                kind, domain, (1, 3)
+            )
+
+    @pytest.mark.parametrize("at_index,expect_hit", [(0, 1), (1, 1), (9, 0)])
+    def test_occurrence_index_strikes_the_exact_dispatch(
+        self, ping_pong_app, at_index, expect_hit
+    ):
+        # DSP dispatches twice in the ping-pong app, so at=0 and at=1
+        # each strike exactly one of them and at=9 never fires.
+        manager = HostManager(ping_pong_app.accelerators)
+        plan = FaultPlan(
+            specs=(FaultSpec(kind="transient", domain="DSP", at=(at_index,)),),
+            seed=1,
+        )
+        report = manager.run(
+            ping_pong_app, inputs={"x": np.arange(4.0)}, fault_plan=plan
+        )
+        assert report.completed
+        assert report.faults_injected == expect_hit
+        assert report.faults_recovered == expect_hit
+        # The schedule is part of the event signature: reruns reproduce.
+        again = manager.run(
+            ping_pong_app, inputs={"x": np.arange(4.0)}, fault_plan=plan
+        )
+        assert again.event_signature() == report.event_signature()
+
+    def test_backoff_saturates_at_the_cap(self):
+        policy = RecoveryPolicy()
+        assert policy.backoff_s(1) == pytest.approx(policy.backoff_base_s)
+        delays = [policy.backoff_s(k) for k in range(1, 60)]
+        assert delays == sorted(delays)  # monotone non-decreasing
+        assert max(delays) == policy.backoff_cap_s
+        # Far past the cap the exponent must not overflow into inf.
+        assert policy.backoff_s(10_000) == policy.backoff_cap_s
+
+    def test_watchdog_budget_has_a_floor_and_scales(self):
+        policy = RecoveryPolicy(watchdog_factor=8.0, watchdog_min_s=1e-3)
+        assert policy.watchdog_budget_s(0.0) == pytest.approx(1e-3)
+        assert policy.watchdog_budget_s(1e-9) == pytest.approx(1e-3)
+        assert policy.watchdog_budget_s(2.0) == pytest.approx(16.0)
+
+    def test_invalid_policies_are_rejected(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RecoveryPolicy(backoff_factor=0.5)
+
+    def test_watchdog_exhaustion_degrades_with_bit_identity(
+        self, two_domain_app
+    ):
+        # Every accelerator attempt at DSP stalls; the retry budget burns
+        # out and the manager must degrade DSP to the host — with the
+        # exact same outputs as a fault-free run.
+        manager = HostManager(two_domain_app.accelerators)
+        baseline = manager.run(two_domain_app, inputs={"x": np.arange(4.0)})
+        policy = RecoveryPolicy(
+            max_attempts=2,
+            backoff_base_s=1e-6,
+            backoff_cap_s=1e-5,
+            watchdog_min_s=1e-4,
+        )
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    kind="stall", domain="DSP", probability=1.0,
+                    max_triggers=99,
+                ),
+            ),
+            seed=2,
+        )
+        report = manager.run(
+            two_domain_app,
+            inputs={"x": np.arange(4.0)},
+            fault_plan=plan,
+            policy=policy,
+        )
+        assert report.completed
+        assert "DSP" in report.degraded_domains
+        assert report.events_of("watchdog-timeout")
+        assert report.events_of("host-fallback")
+        np.testing.assert_array_equal(
+            report.result.outputs["z"], baseline.result.outputs["z"]
+        )
+
+
 class TestEndToEndChaos:
     """Acceptance scenario: the cascaded FFT->LR->MPC application survives
     an accelerator crash via host fallback, bit-for-bit."""
