@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: fresh results vs committed baselines.
+
+CI regenerates ``results/BENCH_serve.json`` (serve scaling table) and
+``results/BENCH_figures.json`` (figure/fusion/rule-trip data), then runs
+this script against the baselines committed under ``results/baselines/``.
+A run fails when:
+
+* a serve scaling row's throughput drops more than ``--tolerance``
+  (default 15%) below the baseline, or its p99 latency rises more than
+  the tolerance above it, or a baseline worker count disappears,
+* a numeric leaf of the figures file drifts more than the tolerance
+  from the baseline (wall-clock leaves — ``compile_seconds``,
+  ``wall_seconds`` — are skipped; everything else in that file is
+  deterministic cost-model output), or a baseline leaf disappears.
+
+Updating a baseline is deliberate: rerun the benchmark and commit the
+new file to ``results/baselines/`` in the same PR that changed the
+performance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Leaf-path substrings excluded from the figures comparison: wall-clock
+#: measurements vary run to run; the modeled numbers do not.
+WALL_CLOCK_MARKERS = ("compile_seconds", "wall_seconds")
+
+
+def load(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def check_serve(current, baseline, tolerance):
+    """Failures in the serve scaling table (throughput down / p99 up)."""
+    failures = []
+    current_rows = {row["workers"]: row for row in current.get("scaling", [])}
+    for base in baseline.get("scaling", []):
+        workers = base["workers"]
+        row = current_rows.get(workers)
+        if row is None:
+            failures.append(
+                f"serve: workers={workers} row missing from current results"
+            )
+            continue
+        throughput, floor = row["throughput_rps"], base["throughput_rps"]
+        if throughput < floor * (1 - tolerance):
+            failures.append(
+                f"serve: workers={workers} throughput {throughput:.2f} rps "
+                f"is >{tolerance:.0%} below baseline {floor:.2f} rps"
+            )
+        p99 = row["latency"]["p99_seconds"]
+        ceiling = base["latency"]["p99_seconds"]
+        if p99 > ceiling * (1 + tolerance):
+            failures.append(
+                f"serve: workers={workers} p99 {p99 * 1e3:.1f} ms is "
+                f">{tolerance:.0%} above baseline {ceiling * 1e3:.1f} ms"
+            )
+    return failures
+
+
+def numeric_leaves(value, path=""):
+    """Yield ``(path, number)`` for every numeric leaf of a JSON tree."""
+    if isinstance(value, dict):
+        for key in sorted(value):
+            yield from numeric_leaves(value[key], f"{path}/{key}")
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            yield from numeric_leaves(item, f"{path}[{index}]")
+    elif isinstance(value, bool):
+        return
+    elif isinstance(value, (int, float)):
+        yield path, float(value)
+
+
+def check_figures(current, baseline, tolerance, epsilon=1e-9):
+    """Failures among the deterministic numeric leaves of the figures file."""
+    failures = []
+    current_leaves = dict(numeric_leaves(current))
+    for path, expected in numeric_leaves(baseline):
+        if any(marker in path for marker in WALL_CLOCK_MARKERS):
+            continue
+        got = current_leaves.get(path)
+        if got is None:
+            failures.append(f"figures: {path} missing from current results")
+            continue
+        scale = max(abs(expected), abs(got))
+        if scale <= epsilon:
+            continue
+        drift = abs(got - expected) / scale
+        if drift > tolerance:
+            failures.append(
+                f"figures: {path} drifted {drift:.1%} "
+                f"(baseline {expected:g}, got {got:g})"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--serve", metavar="PATH", help="fresh BENCH_serve.json"
+    )
+    parser.add_argument(
+        "--figures", metavar="PATH", help="fresh BENCH_figures.json"
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default="results/baselines",
+        metavar="DIR",
+        help="directory holding the committed baseline copies "
+        "(default results/baselines)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        metavar="FRACTION",
+        help="allowed relative regression (default 0.15)",
+    )
+    args = parser.parse_args(argv)
+    if not args.serve and not args.figures:
+        parser.error("nothing to check: pass --serve and/or --figures")
+
+    baselines = Path(args.baseline_dir)
+    failures, checked = [], 0
+    if args.serve:
+        failures += check_serve(
+            load(args.serve),
+            load(baselines / "BENCH_serve.json"),
+            args.tolerance,
+        )
+        checked += 1
+    if args.figures:
+        failures += check_figures(
+            load(args.figures),
+            load(baselines / "BENCH_figures.json"),
+            args.tolerance,
+        )
+        checked += 1
+
+    for failure in failures:
+        print(f"REGRESSION {failure}", file=sys.stderr)
+    if failures:
+        print(
+            f"{len(failures)} regression(s) beyond {args.tolerance:.0%} "
+            f"of baseline (see above); if intentional, refresh "
+            f"{baselines}/ in this PR",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"regression gate ok: {checked} file(s) within "
+        f"{args.tolerance:.0%} of {baselines}/"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -464,6 +464,232 @@ def _cmd_chaos(args):
     return status
 
 
+def _parse_dims(spec):
+    """``"n=1024,m=8"`` into ``{"n": 1024, "m": 8}`` (None passes through)."""
+    if not spec:
+        return None
+    dims = {}
+    for pair in spec.split(","):
+        pair = pair.strip()
+        if not pair:
+            continue
+        name, _, value = pair.partition("=")
+        if not _:
+            raise ValueError(f"expected name=value, got {pair!r}")
+        dims[name.strip()] = int(value)
+    return dims
+
+
+def _serve_sessions(args):
+    """Session mode: stream M steps through N stateful sessions and
+    compare per-step latency and bit-identity against one-shot
+    re-submission of the same trajectory."""
+    import threading
+    import time
+
+    from .serve import Request, Server, percentile
+    from .srdfg.plan import PLAN_STATS
+
+    name = args.workloads.split(",")[0].strip()
+    try:
+        dims = _parse_dims(args.dims)
+    except ValueError as exc:
+        print(f"serve: bad --dims: {exc}", file=sys.stderr)
+        return 2
+    steps = args.session_steps
+    tracer = None
+    if getattr(args, "trace", None):
+        from .obs import Tracer
+
+        tracer = Tracer()
+
+    PLAN_STATS.reset()
+    server = Server(
+        workers=args.workers,
+        queue_capacity=args.queue_depth,
+        emulate_device=args.emulate_device,
+        tracer=tracer,
+        breaker_threshold=args.breaker_threshold,
+        bucket_policy=args.bucket_policy,
+    )
+    status = 0
+    with server:
+        # Phase 1: N concurrent stateful sessions, M steps each.
+        results = [None] * args.sessions
+
+        def run_session(idx):
+            session = server.open_session(
+                name, dims=dims, precision=args.precision,
+                deadline_s=args.deadline,
+            )
+            times, signatures, errors = [], [], []
+            with session:
+                for _ in range(steps):
+                    started = time.perf_counter()
+                    response = session.step()
+                    times.append(time.perf_counter() - started)
+                    if not response.ok:
+                        errors.append(response.error)
+                        break
+                    signatures.append(response.signature)
+            results[idx] = (times, signatures, errors)
+
+        clients = [
+            threading.Thread(target=run_session, args=(idx,), daemon=True)
+            for idx in range(args.sessions)
+        ]
+        for client in clients:
+            client.start()
+        for client in clients:
+            client.join()
+
+        for idx, (times, signatures, errors) in enumerate(results):
+            for error in errors:
+                status = 1
+                print(f"session {idx} step failed: {error}", file=sys.stderr)
+
+        reference = results[0][1]
+        for idx, (_, signatures, _) in enumerate(results[1:], start=1):
+            if signatures != reference:
+                status = 1
+                print(
+                    f"session {idx} diverged from session 0 "
+                    "(same workload, same binding)",
+                    file=sys.stderr,
+                )
+
+        # Phase 2: the bit-identity twin — one-shot requests threading
+        # state/step_offset client-side must reproduce the session run
+        # exactly (sessions skip work, never change math).
+        twin_times, twin_signatures = [], []
+        state = None
+        for index in range(len(reference)):
+            request = Request(
+                name, steps=1, precision=args.precision, dims=dims,
+                step_offset=index, initial_state=state,
+            )
+            started = time.perf_counter()
+            response = server.request(request)
+            twin_times.append(time.perf_counter() - started)
+            if not response.ok:
+                status = 1
+                print(f"twin step {index} failed: {response.error}",
+                      file=sys.stderr)
+                break
+            twin_signatures.append(response.signature)
+            state = response.state
+        twin_ok = twin_signatures == reference
+        if not twin_ok:
+            status = 1
+            print(
+                "bit-identity FAILED: session outputs differ from the "
+                "state-threading one-shot chain",
+                file=sys.stderr,
+            )
+
+        # Phase 3: the stateless baseline — without sessions (or client
+        # state threading) a stateful stream forces each request to
+        # recompute its whole prefix: request i runs steps 0..i. Its
+        # final outputs still equal session step i.
+        baseline_times, baseline_ok = [], True
+        for index in range(len(reference)):
+            request = Request(
+                name, steps=index + 1, precision=args.precision, dims=dims,
+            )
+            started = time.perf_counter()
+            response = server.request(request)
+            baseline_times.append(time.perf_counter() - started)
+            if not response.ok or response.signature != reference[index]:
+                baseline_ok = False
+                status = 1
+                print(
+                    f"stateless baseline step {index} "
+                    + ("failed" if not response.ok else "diverged"),
+                    file=sys.stderr,
+                )
+                break
+    report = server.report()
+
+    if tracer is not None:
+        from .obs import write_chrome_trace
+
+        write_chrome_trace(tracer, args.trace)
+        print(
+            f"wrote {len(tracer)} span(s) "
+            f"({', '.join(sorted(tracer.categories()))}) to {args.trace}"
+        )
+
+    print(report.render())
+    session_times = [t for times, _, _ in results for t in times]
+    session_p50 = percentile(session_times, 0.50)
+    twin_p50 = percentile(twin_times, 0.50)
+    baseline_p50 = percentile(baseline_times, 0.50)
+    overhead_speedup = twin_p50 / session_p50 if session_p50 > 0 else 0.0
+    speedup = baseline_p50 / session_p50 if session_p50 > 0 else 0.0
+    print(
+        f"  per-step latency: session p50 {session_p50 * 1e3:.2f} ms / "
+        f"p99 {percentile(session_times, 0.99) * 1e3:.2f} ms over "
+        f"{len(session_times)} step(s) across {args.sessions} session(s)"
+    )
+    print(
+        f"  one-shot chain (state threaded client-side): "
+        f"p50 {twin_p50 * 1e3:.2f} ms -> {overhead_speedup:.2f}x, "
+        f"bit-identity {'ok' if twin_ok else 'FAILED'}"
+    )
+    print(
+        f"  one-shot re-submission (stateless, prefix recompute): "
+        f"p50 {baseline_p50 * 1e3:.2f} ms -> {speedup:.2f}x"
+        + ("" if baseline_ok else " (DIVERGED)")
+    )
+    cache = server.session.cache
+    print(f"  cache: {cache.stats.render()}")
+    buckets = cache.bucket_summary()
+    if buckets:
+        rendered = ", ".join(f"{k}x{v}" for k, v in buckets.items())
+        print(f"  plan buckets: {rendered}")
+
+    if args.assert_speedup is not None and speedup < args.assert_speedup:
+        status = 1
+        print(
+            f"speedup assertion FAILED: sessions are {speedup:.2f}x "
+            f"faster per step than stateless re-submission, "
+            f"needed >= {args.assert_speedup:g}x",
+            file=sys.stderr,
+        )
+    if args.assert_plan_reuse and not report.plan_reuse_ok:
+        status = 1
+        print(
+            "plan-reuse assertion FAILED: "
+            f"{report.plans_built} graph plan(s) built, expected "
+            f"{report.expected_plans}",
+            file=sys.stderr,
+        )
+    if args.assert_conservation and not report.conservation_ok:
+        status = 1
+        print(
+            f"accounting assertion FAILED: {report.accounted} accounted "
+            f"of {report.submitted} submitted",
+            file=sys.stderr,
+        )
+
+    if args.json:
+        payload = report.to_dict()
+        payload["session_compare"] = {
+            "workload": name,
+            "dims": dims or {},
+            "sessions": args.sessions,
+            "steps": steps,
+            "session_p50_seconds": session_p50,
+            "oneshot_chain_p50_seconds": twin_p50,
+            "oneshot_stateless_p50_seconds": baseline_p50,
+            "overhead_speedup": overhead_speedup,
+            "speedup": speedup,
+            "bit_identical": twin_ok and baseline_ok,
+        }
+        _emit_json(payload, args.json)
+    return status
+
+
 def _cmd_serve(args):
     """Run the concurrent compile-and-execute service on a synthetic trace."""
     from .serve import Server, replay, run_serial, synth_trace
@@ -476,6 +702,8 @@ def _cmd_serve(args):
         print("serve: --workloads must name at least one workload",
               file=sys.stderr)
         return 2
+    if args.sessions:
+        return _serve_sessions(args)
     trace = synth_trace(
         requests=args.requests,
         workloads=workloads,
@@ -608,6 +836,7 @@ def _cmd_fuzz(args):
         campaigns=args.campaigns,
         minimize=args.minimize,
         progress=progress,
+        dim_variants=args.dim_variants,
     )
     print(report.render())
     if args.json != "none":
@@ -872,6 +1101,45 @@ def build_parser():
         help="record a span trace of the run and write it as Chrome "
         "trace-event JSON (chrome://tracing / Perfetto loadable)",
     )
+    serve.add_argument(
+        "--sessions",
+        type=int,
+        default=0,
+        metavar="N",
+        help="session mode: instead of replaying the synthetic trace, "
+        "open N stateful sessions on the first --workloads entry, stream "
+        "--session-steps steps through each, and compare per-step latency "
+        "and bit-identity against one-shot re-submission",
+    )
+    serve.add_argument(
+        "--session-steps",
+        type=int,
+        default=50,
+        metavar="M",
+        help="steps streamed through each session (default 50)",
+    )
+    serve.add_argument(
+        "--dims",
+        default=None,
+        metavar="k=v,...",
+        help="symbolic-dim overrides for session mode, e.g. n=1000 "
+        "(rounded up by --bucket-policy before planning)",
+    )
+    serve.add_argument(
+        "--bucket-policy",
+        default="exact",
+        metavar="POLICY",
+        help="shape-bucket rounding for dim overrides: exact, pow2, or "
+        "multiple:N (default exact)",
+    )
+    serve.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="session mode: exit nonzero unless sessions beat stateless "
+        "one-shot re-submission by at least X in per-step p50 latency",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     trace = sub.add_parser(
@@ -1068,6 +1336,16 @@ def build_parser():
         metavar="PATH",
         help="validation-matrix JSON output (default "
         "results/BENCH_resilience.json; - for stdout, 'none' to skip)",
+    )
+    fuzz.add_argument(
+        "--dim-variants",
+        type=int,
+        default=1,
+        metavar="K",
+        help="size bindings run per seed: 1 uses just the drawn sizes; "
+        "K > 1 re-runs each program at K-1 forced tensor sizes so the "
+        "oracles exercise the shape-bucket plan-specialization path "
+        "(default 1)",
     )
     fuzz.add_argument(
         "--verbose", action="store_true",

@@ -8,6 +8,7 @@ facade; every compile in the repository flows through
 :class:`CompilerSession`.
 """
 
+from ..srdfg.shapes import BucketPolicy, ShapeBinding, SpecializationKey
 from .cache import ArtifactCache, CacheStats, accelerator_fingerprint, fingerprint
 from .diagnostics import Diagnostic, Diagnostics
 from .session import (
@@ -20,9 +21,12 @@ from .session import (
 
 __all__ = [
     "ArtifactCache",
+    "BucketPolicy",
     "CACHE_HIT_STAGE",
     "CacheStats",
     "CompilerSession",
+    "ShapeBinding",
+    "SpecializationKey",
     "Diagnostic",
     "Diagnostics",
     "FUSE_STAGE",

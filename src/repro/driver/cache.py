@@ -73,6 +73,10 @@ _STAT_FIELDS = (
     "plan_hits",
     "plan_misses",
     "plan_stores",
+    "bucket_hits",
+    "bucket_misses",
+    "bucket_stores",
+    "bucket_evictions",
 )
 
 
@@ -94,6 +98,10 @@ class CacheStats:
     plan_hits: int = 0
     plan_misses: int = 0
     plan_stores: int = 0
+    bucket_hits: int = 0
+    bucket_misses: int = 0
+    bucket_stores: int = 0
+    bucket_evictions: int = 0
 
     def __post_init__(self):
         self._lock = threading.Lock()
@@ -130,6 +138,19 @@ class CacheStats:
                 f"; plans: {self.plan_hits} hit(s) / "
                 f"{self.plan_misses} miss(es), {self.plan_stores} store(s)"
             )
+        if (
+            self.bucket_hits
+            or self.bucket_misses
+            or self.bucket_stores
+            or self.bucket_evictions
+        ):
+            line += (
+                f"; buckets: {self.bucket_hits} hit(s) / "
+                f"{self.bucket_misses} miss(es), "
+                f"{self.bucket_stores} store(s)"
+            )
+            if self.bucket_evictions:
+                line += f", {self.bucket_evictions} evicted"
         return line
 
 
@@ -154,6 +175,11 @@ class ArtifactCache:
     #: Memory-only: plans hold live numpy closures and weak graph refs,
     #: so they are cheap to rebuild but pointless to pickle.
     _plans: Dict[str, object] = field(default_factory=dict)
+    #: Shape-bucket tier: ``template digest -> bucket digest -> plan``.
+    #: Groups every specialization compiled from one source template so
+    #: sibling buckets can be listed and evicted independently; plans are
+    #: memory-only for the same reason as ``_plans``.
+    _buckets: Dict[str, Dict[str, object]] = field(default_factory=dict)
     _lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
     )
@@ -281,10 +307,70 @@ class ArtifactCache:
             self.stats.bump(plan_stores=1)
         return True
 
+    # -- shape-bucket tier ---------------------------------------------------
+
+    def bucket_get(self, template, bucket):
+        """Specialized plan for (*template*, *bucket*), or None.
+
+        *template* is a :class:`~repro.srdfg.shapes.SpecializationKey`
+        template digest (one per source template, whatever its dims);
+        *bucket* is its bucket digest (bucketed binding + plan config).
+        Counts ``bucket_hits``/``bucket_misses``.
+        """
+        with self._lock:
+            plan = self._buckets.get(template, {}).get(bucket)
+            if plan is None:
+                self.stats.bump(bucket_misses=1)
+                return None
+            self.stats.bump(bucket_hits=1)
+            return plan
+
+    def bucket_put(self, template, bucket, plan):
+        with self._lock:
+            self._buckets.setdefault(template, {})[bucket] = plan
+            self.stats.bump(bucket_stores=1)
+        return True
+
+    def buckets_for(self, template):
+        """Digests of every bucket cached for *template*."""
+        with self._lock:
+            return tuple(self._buckets.get(template, ()))
+
+    def bucket_count(self, template=None):
+        with self._lock:
+            if template is not None:
+                return len(self._buckets.get(template, ()))
+            return sum(len(group) for group in self._buckets.values())
+
+    def evict_bucket(self, template, bucket):
+        """Drop one bucket's plan; sibling buckets are untouched.
+
+        Returns True if something was evicted. An emptied template group
+        is removed so ``bucket_summary`` never lists ghost templates.
+        """
+        with self._lock:
+            group = self._buckets.get(template)
+            if not group or bucket not in group:
+                return False
+            del group[bucket]
+            if not group:
+                del self._buckets[template]
+            self.stats.bump(bucket_evictions=1)
+            return True
+
+    def bucket_summary(self):
+        """``template digest (12 chars) -> bucket count``, for reports."""
+        with self._lock:
+            return {
+                template[:12]: len(group)
+                for template, group in sorted(self._buckets.items())
+            }
+
     def clear(self):
         with self._lock:
             self._memory.clear()
             self._plans.clear()
+            self._buckets.clear()
 
     def __len__(self):
         with self._lock:

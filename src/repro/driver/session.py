@@ -528,7 +528,7 @@ class CompilerSession:
     # -- execution plans --------------------------------------------------------
 
     def plan_for(self, app, precision="f64", lattice_limit=None,
-                 enable_einsum=True):
+                 enable_einsum=True, specialization=None):
         """The shared :class:`~repro.srdfg.plan.ExecutionPlan` for *app*.
 
         Backed by the artifact cache's plan tier, keyed on the graph's
@@ -536,17 +536,23 @@ class CompilerSession:
         compile (even one that rebuilt a structurally identical graph)
         skips planning entirely. Each lookup is recorded as a ``plan``
         stage; hits carry ``cached=True``, like compile cache hits do.
+
+        *specialization* (a :class:`~repro.srdfg.shapes.SpecializationKey`)
+        additionally files the plan in the cache's shape-bucket tier, so
+        the specializations of one source template are grouped, counted
+        (``bucket_hits``/``bucket_misses``), and evictable per bucket.
         """
         plan, _ = self.plan_for_traced(
             app,
             precision=precision,
             lattice_limit=lattice_limit,
             enable_einsum=enable_einsum,
+            specialization=specialization,
         )
         return plan
 
     def plan_for_traced(self, app, precision="f64", lattice_limit=None,
-                        enable_einsum=True):
+                        enable_einsum=True, specialization=None):
         """:meth:`plan_for` plus provenance: ``(plan, "built"|"cache"|"coalesced")``.
 
         Identical concurrent plan requests coalesce exactly like compiles
@@ -559,6 +565,8 @@ class CompilerSession:
             lattice_limit=lattice_limit,
             enable_einsum=enable_einsum,
         )
+        if specialization is not None:
+            return self._plan_for_specialized(app, config, specialization)
         start = time.perf_counter()
         key = plan_cache_key(app.graph, config)
         with self.tracer.span(
@@ -614,6 +622,54 @@ class CompilerSession:
                 self.plans.append(plan)
         return plan, provenance
 
+    def _plan_for_specialized(self, app, config, specialization):
+        """Shape-bucketed plan lookup: bucket tier first, then the
+        normal structural plan tier, filing the result back under the
+        specialization's (template, bucket) pair."""
+        from ..srdfg.plan import memoize_plan
+
+        template = specialization.template_digest()
+        bucket = specialization.bucket_digest()
+        binding = specialization.binding.describe() or "default"
+        start = time.perf_counter()
+        with self.tracer.span(
+            "plan-bucket",
+            category="plan",
+            template=template[:12],
+            bucket=bucket[:12],
+            binding=binding,
+        ) as span:
+            plan = self.cache.bucket_get(template, bucket)
+            if plan is not None:
+                # Seed the per-instance memo so direct consumers of this
+                # graph (Executor, HostManager fallback) share the plan.
+                memoize_plan(app.graph, plan)
+                span.note(provenance="cache")
+                self._record(
+                    StageRecord(
+                        stage="plan",
+                        seconds=time.perf_counter() - start,
+                        cached=True,
+                        detail=(
+                            f"bucket {bucket[:12]} [{binding}], "
+                            f"template {template[:12]}"
+                        ),
+                    )
+                )
+                with self._state_lock:
+                    if plan not in self.plans:
+                        self.plans.append(plan)
+                return plan, "cache"
+            span.note(provenance="miss")
+        plan, provenance = self.plan_for_traced(
+            app,
+            precision=config.precision,
+            lattice_limit=config.lattice_limit,
+            enable_einsum=config.enable_einsum,
+        )
+        self.cache.bucket_put(template, bucket, plan)
+        return plan, provenance
+
     # -- reporting -------------------------------------------------------------
 
     def _records_snapshot(self):
@@ -663,6 +719,7 @@ class CompilerSession:
             "stage_executions": executions,
             "stage_seconds": seconds,
             "cache": self.cache.stats.to_dict(),
+            "plan_buckets": self.cache.bucket_summary(),
             "plans": [
                 {
                     "graph": plan.graph_name,
@@ -714,6 +771,17 @@ class CompilerSession:
         header += f", {len(records)} stage execution(s)"
         lines = [header]
         lines.append(f"cache: {self.cache.stats.render()}")
+        buckets = self.cache.bucket_summary()
+        if buckets:
+            total = sum(buckets.values())
+            lines.append(
+                f"plan buckets: {total} specialization(s) across "
+                f"{len(buckets)} template(s) — "
+                + ", ".join(
+                    f"{template}…x{count}"
+                    for template, count in buckets.items()
+                )
+            )
         lines.append("")
         lines.append(
             f"{'stage':28s} {'time':>12s}  {'executions':>10s}  graph deltas"

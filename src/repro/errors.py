@@ -41,7 +41,33 @@ class PMLangSemanticError(PolyMathError):
 
 
 class ShapeError(PolyMathError):
-    """Shapes could not be bound or unified at srDFG build time."""
+    """Shapes could not be bound or unified.
+
+    Raised at srDFG build time when index ranges disagree, and at serving
+    admission when a request's dims or input/state arrays do not match
+    what the workload declares — *before* a worker is occupied. Carries
+    ``name`` (the offending dim or tensor), ``expected``, and ``got`` so
+    clients can render "expected (3, 30), got (4, 30)" without parsing
+    the message; all three default to ``None`` for build-time raises.
+    """
+
+    def __init__(self, message, name=None, expected=None, got=None):
+        super().__init__(message)
+        self.name = name
+        self.expected = tuple(expected) if expected is not None else None
+        self.got = tuple(got) if got is not None else None
+
+    @classmethod
+    def mismatch(cls, name, expected, got, kind="input"):
+        """A descriptive mismatch error for tensor *name*."""
+        expected = tuple(expected)
+        got = tuple(got)
+        return cls(
+            f"{kind} {name!r} has shape {got}, expected {expected}",
+            name=name,
+            expected=expected,
+            got=got,
+        )
 
 
 class GraphError(PolyMathError):

@@ -247,11 +247,12 @@ def _vector_pool(specs, size):
 class _Generator:
     """One seeded generation run (all randomness through ``self.rng``)."""
 
-    def __init__(self, seed, config):
+    def __init__(self, seed, config, sizes=None):
         self.seed = seed
         self.rng = random.Random(seed)
         self.config = config
         self.counter = 0
+        self.forced_sizes = dict(sizes) if sizes else None
 
     def fresh(self, prefix="t"):
         self.counter += 1
@@ -264,6 +265,20 @@ class _Generator:
         m = rng.randint(cfg.min_dim, cfg.max_dim)
         while m == n:  # distinct sizes catch transposed-shape bugs
             m = rng.randint(cfg.min_dim, cfg.max_dim)
+        if self.forced_sizes is not None:
+            # Dim variation: the seed's usual draws are consumed first so
+            # the rest of the RNG stream starts from the same point, then
+            # the extents are overridden. Statement texts embed literal
+            # dims (rotations modulo n, reversal n-1-i, unroll trips), so
+            # a variant is generated, not re-rendered — every variant is
+            # still valid by construction at its own sizes.
+            n = int(self.forced_sizes.get("n", n))
+            m = int(self.forced_sizes.get("m", m))
+            if n < 2 or m < 2 or n == m:
+                raise ValueError(
+                    f"forced sizes need two distinct dims >= 2, "
+                    f"got n={n} m={m}"
+                )
         sizes = {"n": n, "m": m}
 
         args: List[VarSpec] = []
@@ -597,6 +612,13 @@ class _Generator:
         )
 
 
-def generate_program(seed, config=None):
-    """The deterministic :class:`FuzzProgram` for *seed*."""
-    return _Generator(seed, config or GenConfig()).generate()
+def generate_program(seed, config=None, sizes=None):
+    """The deterministic :class:`FuzzProgram` for *seed*.
+
+    *sizes* (``{"n": int, "m": int}``, distinct, >= 2) forces the tensor
+    extents instead of drawing them — the harness uses this to run dim
+    variants of one seed through the oracles, exercising the compiler's
+    shape-bucket specialization path with several bindings of the same
+    generated template.
+    """
+    return _Generator(seed, config or GenConfig(), sizes=sizes).generate()

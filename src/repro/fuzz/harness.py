@@ -61,6 +61,9 @@ class FuzzReport:
     campaigns: str
     precisions: Tuple[str, ...]
     oracles: Tuple[str, ...]
+    #: Size bindings run per seed (1 = just the drawn sizes; more add
+    #: forced-size variants that exercise the shape-bucket plan path).
+    dim_variants: int = 1
     checks: int = 0
     failures: int = 0
     wall_seconds: float = 0.0
@@ -98,6 +101,7 @@ class FuzzReport:
                 "campaigns": self.campaigns,
                 "precisions": list(self.precisions),
                 "oracles": list(self.oracles),
+                "dim_variants": self.dim_variants,
             },
             "summary": {
                 "checks": self.checks,
@@ -112,8 +116,14 @@ class FuzzReport:
         }
 
     def render(self):
+        variants = (
+            f" x {self.dim_variants} dim variant(s)"
+            if self.dim_variants > 1
+            else ""
+        )
         lines = [
-            f"fuzz: {self.programs} program(s) from seed {self.seed}, "
+            f"fuzz: {self.programs} program(s) from seed {self.seed}"
+            f"{variants}, "
             f"{self.checks} check(s) across {len(self.oracles)} oracle(s) "
             f"x {'/'.join(self.precisions)} "
             f"({self.campaigns} fault campaigns) "
@@ -173,6 +183,21 @@ def _still_fails_factory(failing, context, campaigns):
     return still_fails
 
 
+def _dim_variants(program_seed, config, count):
+    """The *count* programs run for one seed: drawn sizes first, then
+    forced-size variants offset from them (distinctness preserved), so
+    the plan oracle sees several bindings of the same seed's template."""
+    base = generate_program(program_seed, config)
+    variants = [base]
+    for v in range(1, count):
+        sizes = {
+            "n": base.sizes["n"] + 2 * v,
+            "m": base.sizes["m"] + 2 * v,
+        }
+        variants.append(generate_program(program_seed, config, sizes=sizes))
+    return variants
+
+
 def run_fuzz(
     programs=25,
     seed=0,
@@ -183,6 +208,7 @@ def run_fuzz(
     context=None,
     gen_config=None,
     progress=None,
+    dim_variants=1,
 ):
     """Run the differential campaign; returns a :class:`FuzzReport`.
 
@@ -191,63 +217,74 @@ def run_fuzz(
     :class:`~repro.fuzz.oracles.OracleContext`) is shared across
     programs, which is exactly what lets tests inject a sabotaged
     pipeline and watch the harness catch it. *progress*, when given, is
-    called with a one-line status string per program.
+    called with a one-line status string per program. *dim_variants* > 1
+    re-runs each seed at forced tensor sizes so the oracles cover the
+    shape-bucket plan-specialization path (each variant is its own
+    matrix row, tagged with its sizes).
     """
     context = context or OracleContext()
     config = gen_config or GenConfig()
+    dim_variants = max(1, int(dim_variants))
     report = FuzzReport(
         programs=programs,
         seed=seed,
         campaigns=campaigns,
         precisions=tuple(precisions),
         oracles=tuple(oracles),
+        dim_variants=dim_variants,
     )
     started = time.perf_counter()
     for offset in range(programs):
         program_seed = seed + offset
-        program = generate_program(program_seed, config)
-        results = run_program(
-            program,
-            context=context,
-            precisions=precisions,
-            campaigns=campaigns,
-            oracles=oracles,
-        )
-        failures = [r for r in results if not r.ok]
-        report.checks += len(results)
-        report.failures += len(failures)
-        report.matrix.append({
-            "seed": program_seed,
-            "statements": len(program.statements),
-            "steps": program.steps,
-            "checks": [r.to_dict() for r in results],
-        })
-        if progress is not None:
-            status = "ok" if not failures else f"{len(failures)} FAIL"
-            progress(
-                f"[{offset + 1}/{programs}] seed {program_seed}: "
-                f"{len(results)} check(s) {status}"
+        for variant, program in enumerate(
+            _dim_variants(program_seed, config, dim_variants)
+        ):
+            results = run_program(
+                program,
+                context=context,
+                precisions=precisions,
+                campaigns=campaigns,
+                oracles=oracles,
             )
-        for failing in failures:
-            divergence = Divergence(
-                seed=program_seed,
-                oracle=failing.oracle,
-                precision=failing.precision,
-                campaign=failing.campaign,
-                detail=failing.detail,
-                source=program.render(),
-            )
-            if minimize and failing.oracle in ORACLES:
-                still_fails = _still_fails_factory(
-                    failing, context, campaigns
+            failures = [r for r in results if not r.ok]
+            report.checks += len(results)
+            report.failures += len(failures)
+            report.matrix.append({
+                "seed": program_seed,
+                "variant": variant,
+                "sizes": dict(program.sizes),
+                "statements": len(program.statements),
+                "steps": program.steps,
+                "checks": [r.to_dict() for r in results],
+            })
+            if progress is not None:
+                status = "ok" if not failures else f"{len(failures)} FAIL"
+                sizes = program.sizes
+                progress(
+                    f"[{offset + 1}/{programs}] seed {program_seed} "
+                    f"(n={sizes['n']} m={sizes['m']}): "
+                    f"{len(results)} check(s) {status}"
                 )
-                minimized = minimize_program(program, still_fails)
-                divergence.minimized_source = minimized.render()
-                divergence.minimized_statements = len(minimized.statements)
-                try:
-                    divergence.minimized_nodes = reproducer_size(minimized)
-                except Exception:  # noqa: BLE001 — size is best-effort
-                    divergence.minimized_nodes = None
-            report.divergences.append(divergence)
+            for failing in failures:
+                divergence = Divergence(
+                    seed=program_seed,
+                    oracle=failing.oracle,
+                    precision=failing.precision,
+                    campaign=failing.campaign,
+                    detail=failing.detail,
+                    source=program.render(),
+                )
+                if minimize and failing.oracle in ORACLES:
+                    still_fails = _still_fails_factory(
+                        failing, context, campaigns
+                    )
+                    minimized = minimize_program(program, still_fails)
+                    divergence.minimized_source = minimized.render()
+                    divergence.minimized_statements = len(minimized.statements)
+                    try:
+                        divergence.minimized_nodes = reproducer_size(minimized)
+                    except Exception:  # noqa: BLE001 — size is best-effort
+                        divergence.minimized_nodes = None
+                report.divergences.append(divergence)
     report.wall_seconds = time.perf_counter() - started
     return report

@@ -216,8 +216,27 @@ def check_interpreter(program, precision, context, reference, graph):
 
 
 def check_plan(program, precision, context, reference, app):
-    """Rule-optimized, lowered ExecutionPlan execution vs the reference."""
-    plan = context.rules.plan_for(app, precision=precision)
+    """Rule-optimized, lowered ExecutionPlan execution vs the reference.
+
+    The plan lookup routes through the artifact cache's shape-bucket
+    tier: every dim variant of one generated seed files its plan under a
+    shared template digest with its own ``{n, m}`` binding, so each fuzz
+    run also exercises the specialization path end to end. The config
+    key carries a digest of the rendered source because minimized clones
+    share the seed *and* the sizes while compiling to a different graph
+    — without it they would collide onto the full program's stale plan.
+    """
+    from ..driver.cache import fingerprint
+    from ..srdfg.shapes import ShapeBinding, SpecializationKey
+
+    spec = SpecializationKey(
+        template=fingerprint("fuzz-template", program.seed),
+        binding=ShapeBinding(program.sizes),
+        config_key=(precision, fingerprint("fuzz-source", program.render())),
+    )
+    plan = context.rules.plan_for(
+        app, precision=precision, specialization=spec
+    )
     ok, detail, err = _compare(
         reference, _plan_steps(program, plan), precision
     )

@@ -15,12 +15,19 @@ import json
 from typing import Dict
 
 
+def _lane(span):
+    """Export lane for a span: its logical track when set (e.g. one lane
+    per serving session regardless of which workers ran the steps),
+    otherwise the recording thread."""
+    return getattr(span, "track", None) or span.thread_name
+
+
 def chrome_trace(tracer):
     """The tracer's spans as a Chrome trace-event dict."""
     spans = tracer.spans()
-    threads: Dict[str, int] = {}
+    lanes: Dict[str, int] = {}
     for span in spans:
-        threads.setdefault(span.thread_name, len(threads) + 1)
+        lanes.setdefault(_lane(span), len(lanes) + 1)
 
     events = [
         {
@@ -31,14 +38,14 @@ def chrome_trace(tracer):
             "args": {"name": "repro"},
         }
     ]
-    for thread_name, tid in threads.items():
+    for lane_name, tid in lanes.items():
         events.append(
             {
                 "ph": "M",
                 "name": "thread_name",
                 "pid": 1,
                 "tid": tid,
-                "args": {"name": thread_name},
+                "args": {"name": lane_name},
             }
         )
 
@@ -47,7 +54,7 @@ def chrome_trace(tracer):
             "name": span.name,
             "cat": span.category,
             "pid": 1,
-            "tid": threads[span.thread_name],
+            "tid": lanes[_lane(span)],
             "ts": (span.start - tracer.epoch) * 1e6,
             "args": {
                 "span_id": span.span_id,

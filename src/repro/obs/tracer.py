@@ -50,6 +50,7 @@ class Span:
         "start",
         "duration",
         "thread_name",
+        "track",
         "args",
         "instant",
     )
@@ -63,6 +64,7 @@ class Span:
         duration,
         thread_name,
         parent_id=None,
+        track=None,
         args=None,
         instant=False,
     ):
@@ -73,6 +75,10 @@ class Span:
         self.start = start
         self.duration = duration
         self.thread_name = thread_name
+        #: Optional logical lane overriding the thread lane in exports —
+        #: e.g. every step of one serving session shares a track even
+        #: though different workers executed them.
+        self.track = track
         self.args = dict(args or {})
         self.instant = instant
 
@@ -85,6 +91,7 @@ class Span:
             "start": self.start,
             "duration": self.duration,
             "thread": self.thread_name,
+            "track": self.track,
             "args": dict(self.args),
             "instant": self.instant,
         }
@@ -123,13 +130,14 @@ class _SpanContext:
     """Context manager for one in-progress span on an enabled tracer."""
 
     __slots__ = ("_tracer", "_name", "_category", "_args", "_start",
-                 "_span_id", "_parent_id")
+                 "_span_id", "_parent_id", "_track")
 
-    def __init__(self, tracer, name, category, args):
+    def __init__(self, tracer, name, category, args, track=None):
         self._tracer = tracer
         self._name = name
         self._category = category
         self._args = args
+        self._track = track
 
     def note(self, **args):
         """Attach args to the span (collected when the span closes)."""
@@ -162,6 +170,7 @@ class _SpanContext:
                 start=self._start,
                 duration=duration,
                 thread_name=threading.current_thread().name,
+                track=self._track,
                 args=self._args,
             )
         )
@@ -190,13 +199,17 @@ class Tracer:
 
     # -- recording ---------------------------------------------------------
 
-    def span(self, name, category="app", **args):
-        """Context manager measuring a block as one span."""
+    def span(self, name, category="app", track=None, **args):
+        """Context manager measuring a block as one span.
+
+        *track* assigns the span to a logical export lane (see
+        :attr:`Span.track`) instead of the recording thread's lane.
+        """
         if not self.enabled:
             return NULL_SPAN
-        return _SpanContext(self, name, category, args)
+        return _SpanContext(self, name, category, args, track=track)
 
-    def instant(self, name, category="app", **args):
+    def instant(self, name, category="app", track=None, **args):
         """A zero-duration point event at the current time."""
         if not self.enabled:
             return None
@@ -209,6 +222,7 @@ class Tracer:
             start=time.perf_counter(),
             duration=0.0,
             thread_name=threading.current_thread().name,
+            track=track,
             args=args,
             instant=True,
         )
@@ -216,7 +230,7 @@ class Tracer:
         return span
 
     def record(self, name, category="app", start=0.0, duration=0.0,
-               thread_name=None, **args):
+               thread_name=None, track=None, **args):
         """Append a completed span with explicit perf_counter timestamps.
 
         For phases whose boundaries were measured outside the tracer —
@@ -232,6 +246,7 @@ class Tracer:
             start=start,
             duration=max(0.0, duration),
             thread_name=thread_name or threading.current_thread().name,
+            track=track,
             args=args,
         )
         self._append(span)

@@ -16,11 +16,13 @@ from ..errors import (
     DeadlineExceededError,
     QueueFullError,
     ServeError,
+    ShapeError,
 )
 from .breaker import BreakerBoard, CircuitBreaker
 from .loadgen import DEFAULT_MIX, replay, run_serial, synth_trace
 from .metrics import RequestMetrics, ServeReport, percentile
 from .pool import WorkerPool
+from .session import Session
 from .request import (
     PRIORITY_HIGH,
     PRIORITY_LOW,
@@ -50,6 +52,8 @@ __all__ = [
     "ServeError",
     "ServeReport",
     "Server",
+    "Session",
+    "ShapeError",
     "Ticket",
     "WorkerPool",
     "percentile",

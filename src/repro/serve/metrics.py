@@ -40,7 +40,9 @@ class RequestMetrics:
     compile_seconds: float = 0.0
     plan_seconds: float = 0.0
     execute_seconds: float = 0.0
-    #: "built" | "cache" | "coalesced" (empty when the phase never ran).
+    #: "built" | "cache" | "coalesced" | "session" — the last meaning the
+    #: phase was skipped entirely because a session had already pinned
+    #: its artifact (empty when the phase never ran).
     compile_provenance: str = ""
     plan_provenance: str = ""
     worker: str = ""
@@ -103,6 +105,13 @@ class ServeReport:
     #: Tickets the client abandoned after ``wait`` timed out (the server
     #: still finishes them; they are counted here, not as completed).
     timed_out: int = 0
+    #: Requests refused at admission with a ShapeError (bad dims or
+    #: mismatched input/state arrays). Never enqueued and never counted
+    #: as submitted, so they sit outside the conservation identity.
+    invalid: int = 0
+    #: Per-session summaries (id, dims, bucket, steps, step latency) for
+    #: every session opened on the server.
+    sessions: List[dict] = field(default_factory=list)
     #: Per-workload circuit-breaker counters at report time.
     breakers: Dict[str, Dict[str, object]] = field(default_factory=dict)
     queue_peak: int = 0
@@ -200,7 +209,9 @@ class ServeReport:
             "cancelled": self.cancelled,
             "breaker_rejected": self.breaker_rejected,
             "timed_out": self.timed_out,
+            "invalid": self.invalid,
             "conservation_ok": self.conservation_ok,
+            "sessions": [dict(summary) for summary in self.sessions],
             "breakers": {
                 name: dict(counts)
                 for name, counts in sorted(self.breakers.items())
@@ -243,6 +254,11 @@ class ServeReport:
                 f"cancelled, {self.breaker_rejected} breaker-rejected, "
                 f"{self.timed_out} timed out"
             )
+        if self.invalid:
+            lines.append(
+                f"  admission: {self.invalid} refused with ShapeError "
+                "(never enqueued)"
+            )
         if self.submitted:
             verdict = "ok" if self.conservation_ok else "VIOLATED"
             lines.append(
@@ -273,7 +289,7 @@ class ServeReport:
             if counts:
                 rendered = ", ".join(
                     f"{counts[kind]} {kind}"
-                    for kind in ("built", "cache", "coalesced")
+                    for kind in ("built", "cache", "coalesced", "session")
                     if counts.get(kind)
                 )
                 lines.append(f"  {phase}: {rendered}")
@@ -284,6 +300,21 @@ class ServeReport:
             f"{self.distinct_configs} distinct (workload, config) pair(s) "
             f"(expected {self.expected_plans} / {self.expected_statements})"
         )
+        if self.sessions:
+            lines.append(f"  sessions: {len(self.sessions)} opened")
+            for info in self.sessions:
+                dims = ",".join(
+                    f"{k}={v}"
+                    for k, v in sorted(info.get("dims", {}).items())
+                )
+                step = info.get("step_seconds", {})
+                lines.append(
+                    f"    session {info['session_id']} {info['workload']}"
+                    + (f" [{dims}]" if dims else "")
+                    + f": {info['steps']} step(s), plan "
+                    + (info.get("plan_provenance") or "unpinned")
+                    + f", step p50 {step.get('p50', 0.0) * 1e3:.2f} ms"
+                )
         by_workload: Dict[str, List[RequestMetrics]] = {}
         for metric in self.requests:
             by_workload.setdefault(metric.workload, []).append(metric)

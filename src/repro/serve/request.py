@@ -54,13 +54,31 @@ class Request:
     #: expired request is answered with ``DeadlineExceededError`` and is
     #: never executed. None means no deadline.
     deadline_s: Optional[float] = None
+    #: Symbolic-dim overrides (``{"n": 1024}``): the server specializes
+    #: the workload at these extents (rounded up by its bucket policy)
+    #: and serves the request from the matching shape bucket. Validated
+    #: at admission against the workload's declared ``symbolic_dims``.
+    dims: Optional[Dict[str, int]] = None
+    #: First invocation index passed to ``workload.inputs``: lets a
+    #: sequence of one-shot requests replay steps k, k+1, ... of a
+    #: stateful trajectory (the bit-identity twin of a session).
+    step_offset: int = 0
+    #: Client-supplied starting ``state`` arrays (defaults to the
+    #: workload's own). Shape-checked at admission.
+    initial_state: Optional[Dict] = None
     #: Assigned at submission; unique within one server.
     request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
 
     def __post_init__(self):
         if self.steps < 1:
             raise ValueError(f"request needs >= 1 step, got {self.steps}")
+        if self.step_offset < 0:
+            raise ValueError(
+                f"step_offset must be >= 0, got {self.step_offset}"
+            )
         self.inject = tuple(self.inject)
+        if self.dims is not None:
+            self.dims = dict(self.dims)
 
     @property
     def priority_name(self):
@@ -69,15 +87,25 @@ class Request:
     def describe(self):
         tags = [self.workload, f"x{self.steps}", self.precision,
                 self.priority_name]
+        if self.dims:
+            tags.append(
+                ",".join(f"{k}={v}" for k, v in sorted(self.dims.items()))
+            )
         if self.inject:
             tags.append("+".join(self.inject))
         if self.deadline_s is not None:
             tags.append(f"dl={self.deadline_s:g}s")
         return " ".join(tags)
 
+    def dims_key(self):
+        """Canonical hashable form of the dim overrides (sorted pairs)."""
+        if not self.dims:
+            return ()
+        return tuple(sorted(self.dims.items()))
+
     def config_key(self):
         """What must match for two requests to share a compile + plan."""
-        return (self.workload, self.precision)
+        return (self.workload, self.precision, self.dims_key())
 
 
 def result_signature(outputs):

@@ -38,13 +38,14 @@ from typing import Dict, List
 
 import numpy as np
 
-from ..driver import CompilerSession
+from ..driver import BucketPolicy, CompilerSession, SpecializationKey
 from ..errors import (
     CancelledError,
     CircuitOpenError,
     DeadlineExceededError,
     PolyMathError,
     QueueFullError,
+    ShapeError,
 )
 from ..obs import MetricsRegistry, NULL_TRACER
 from ..srdfg.plan import PLAN_STATS
@@ -53,7 +54,7 @@ from ..workloads import get_workload
 from .breaker import BreakerBoard
 from .metrics import RequestMetrics, ServeReport
 from .pool import WorkerPool
-from .request import Request, Response, result_signature
+from .request import PRIORITY_NORMAL, Request, Response, result_signature
 from .scheduler import Scheduler
 
 __all__ = ["Server", "Ticket"]
@@ -64,6 +65,7 @@ class Ticket:
 
     __slots__ = (
         "request", "metrics", "response", "deadline_at",
+        "session", "step_inputs", "workload", "specialization",
         "_event", "_cancelled", "_abandoned",
     )
 
@@ -73,6 +75,18 @@ class Ticket:
         self.response = None
         #: Absolute (perf_counter) deadline, set at submission.
         self.deadline_at = None
+        #: The owning :class:`~repro.serve.session.Session` when this
+        #: ticket is one step of a stateful session (None otherwise).
+        self.session = None
+        #: Client-supplied inputs for a session step (validated at
+        #: admission); None means "use the workload's input generator".
+        self.step_inputs = None
+        #: Resolved (possibly dim-specialized) workload instance and its
+        #: :class:`~repro.srdfg.shapes.SpecializationKey`, filled at
+        #: admission when the request carries dim overrides so the worker
+        #: never re-resolves.
+        self.workload = None
+        self.specialization = None
         self._event = threading.Event()
         self._cancelled = False
         self._abandoned = False
@@ -152,6 +166,7 @@ class Server:
         tracer=None,
         breaker_threshold=5,
         breaker_cooldown_s=0.25,
+        bucket_policy="exact",
     ):
         #: One tracer spans the whole request lifecycle: serve-level
         #: request/queue-wait spans here, session/pass/plan spans through
@@ -178,11 +193,16 @@ class Server:
         self.breakers = BreakerBoard(
             threshold=breaker_threshold, cooldown_s=breaker_cooldown_s
         )
+        #: How requested dims round into shape buckets ("exact", "pow2",
+        #: "multiple:N", or a BucketPolicy instance).
+        self.bucket_policy = BucketPolicy.parse(bucket_policy)
 
         self._lock = threading.Lock()
         self._outstanding = 0
         self._drained = threading.Condition(self._lock)
-        self._workloads: Dict[str, object] = {}
+        #: Resolved workload instances keyed by (name, bucketed dims key)
+        #: — the base instance lives under (name, ()).
+        self._workloads: Dict[tuple, object] = {}
         self._device_seconds: Dict[tuple, float] = {}
         self._recent_service = deque(maxlen=64)
         self._tickets: List[Ticket] = []
@@ -196,6 +216,12 @@ class Server:
         self._cancelled = 0
         self._breaker_rejected = 0
         self._timed_out = 0
+        #: Requests refused at admission with a ShapeError (bad dims or
+        #: mismatched input/state arrays) — never enqueued, never counted
+        #: as submitted.
+        self._invalid = 0
+        self._sessions: List[object] = []
+        self._session_steps = 0
         self._started_at = None
         self._stopped_at = None
         self._stats_base = PLAN_STATS.snapshot()
@@ -225,18 +251,50 @@ class Server:
 
     # -- submission --------------------------------------------------------
 
-    def submit(self, request):
+    def submit(self, request, _session=None, _inputs=None):
         """Admit *request*; returns a :class:`Ticket`.
 
         Raises :class:`~repro.errors.QueueFullError` when the admission
         queue is at capacity (carrying a ``retry_after`` estimate),
         :class:`~repro.errors.CircuitOpenError` when the workload's
-        circuit breaker is shedding load, and
+        circuit breaker is shedding load,
         :class:`~repro.errors.DeadlineExceededError` when the request's
-        deadline is already spent at admission.
+        deadline is already spent at admission, and
+        :class:`~repro.errors.ShapeError` when the request's dims or
+        input/state arrays do not match the workload's declared shapes —
+        before the request is enqueued, so a malformed request never
+        occupies a worker. ``_session``/``_inputs`` are the internal
+        session-step path (see :meth:`open_session`).
         """
         if not isinstance(request, Request):
             raise TypeError(f"expected a Request, got {type(request).__name__}")
+        workload = specialization = None
+        if _session is not None or request.dims or request.initial_state:
+            try:
+                if _session is not None:
+                    workload = _session.workload
+                    specialization = _session.specialization
+                    if _inputs is not None:
+                        workload.validate_values(dict(_inputs), modifier="input")
+                else:
+                    workload, specialization = self._resolve(
+                        request.workload, request.dims, request.precision
+                    )
+                if request.initial_state:
+                    workload.validate_values(
+                        dict(request.initial_state), modifier="state"
+                    )
+            except ShapeError as exc:
+                # Refused at admission: not submitted, not enqueued — the
+                # conservation identity never sees it.
+                with self._lock:
+                    self._invalid += 1
+                self.tracer.instant(
+                    "invalid", category="serve",
+                    request_id=request.request_id,
+                    workload=request.workload, error=str(exc),
+                )
+                raise
         with self._lock:
             self._submitted += 1
         allowed, retry_after = self.breakers.allow(request.workload)
@@ -272,6 +330,10 @@ class Server:
             enqueued_at=now,
         )
         ticket = Ticket(request, metrics)
+        ticket.session = _session
+        ticket.step_inputs = _inputs
+        ticket.workload = workload
+        ticket.specialization = specialization
         if request.deadline_s is not None:
             ticket.deadline_at = now + request.deadline_s
         with self._lock:
@@ -301,6 +363,66 @@ class Server:
         """Submit and wait: the synchronous client convenience."""
         return self.submit(request).wait(timeout=timeout)
 
+    def open_session(
+        self,
+        workload,
+        dims=None,
+        precision="f64",
+        priority=PRIORITY_NORMAL,
+        deadline_s=None,
+    ):
+        """Open a long-lived stateful :class:`~repro.serve.session.Session`.
+
+        Resolves (and, when *dims* is given, specializes and
+        bucket-rounds) the workload immediately, so a bad binding raises
+        :class:`~repro.errors.ShapeError` here — at open — not on the
+        first step. Each subsequent ``session.step()`` flows through the
+        scheduler like any request but reuses the session's pinned plan
+        and retained state.
+        """
+        from .session import Session
+
+        try:
+            resolved, spec = self._resolve(workload, dims, precision)
+        except ShapeError as exc:
+            # Same admission accounting as a shape-refused submit: the
+            # open never occupied a worker and never enqueued anything.
+            with self._lock:
+                self._invalid += 1
+            self.tracer.instant(
+                "invalid", category="serve", workload=workload,
+                error=str(exc),
+            )
+            raise
+        if spec is None and getattr(resolved, "symbolic_dims", ()):
+            # No overrides, but the workload is shape-parametric: pin the
+            # default binding so the session's plan still lives in the
+            # bucket tier (and its bucket shows up in the cache stats).
+            spec = SpecializationKey(
+                template=workload,
+                binding=resolved.shape_binding(),
+                config_key=(precision,),
+            )
+        session = Session(
+            server=self,
+            name=workload,
+            workload=resolved,
+            specialization=spec,
+            precision=precision,
+            priority=priority,
+            deadline_s=deadline_s,
+        )
+        with self._lock:
+            self._sessions.append(session)
+        self.tracer.instant(
+            "session-open", category="serve", track=session.track,
+            session=session.session_id, workload=workload,
+            dims=",".join(
+                f"{k}={v}" for k, v in sorted(session.dims().items())
+            ),
+        )
+        return session
+
     def drain(self, timeout=None):
         """Block until every admitted request has a response."""
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -325,11 +447,44 @@ class Server:
 
     def _workload(self, name):
         with self._lock:
-            instance = self._workloads.get(name)
+            instance = self._workloads.get((name, ()))
             if instance is None:
                 instance = get_workload(name)
-                self._workloads[name] = instance
+                self._workloads[(name, ())] = instance
             return instance
+
+    def _resolve(self, name, dims=None, precision="f64"):
+        """Workload instance + SpecializationKey for a (name, dims) pair.
+
+        Without *dims* this is the base instance and no specialization
+        (the legacy static-shape path, byte-for-byte unchanged). With
+        *dims*, the overrides are validated against the workload's
+        declared ``symbolic_dims``, rounded up by the server's bucket
+        policy, and the specialized instance is cached per bucket — so
+        every request landing in one bucket shares one workload, one
+        compiled app, and one plan.
+        """
+        base = self._workload(name)
+        if not dims:
+            return base, None
+        dims = dict(dims)
+        # Names/positivity check on the raw request; structural
+        # constraints (pow2 FFT, blocked DCT) are checked on the
+        # *bucketed* dims by with_dims, since rounding may be exactly
+        # what makes them satisfiable.
+        type(base).validate_dim_names(dims)
+        bucketed = self.bucket_policy.bucket(base.shape_binding().merge(dims))
+        key = (name, bucketed.key())
+        with self._lock:
+            workload = self._workloads.get(key)
+        if workload is None:
+            workload = base.with_dims(**bucketed.as_dict())
+            with self._lock:
+                workload = self._workloads.setdefault(key, workload)
+        spec = SpecializationKey(
+            template=name, binding=bucketed, config_key=(precision,)
+        )
+        return workload, spec
 
     def _modeled_device_seconds(self, request, app):
         """Cost-model accelerator seconds for one invocation of *app*."""
@@ -354,6 +509,10 @@ class Server:
         metrics.worker = worker_name
         metrics.started_at = time.perf_counter()
         response = Response(request=request)
+        # Session steps export onto the session's lane, so a whole
+        # session reads as one track in the Chrome trace no matter which
+        # workers ran its steps.
+        track = ticket.session.track if ticket.session is not None else None
         if ticket.cancelled:
             # Cooperative cancellation: honoured before any work starts.
             response.error = (
@@ -361,7 +520,8 @@ class Server:
             )
             response.error_kind = "CancelledError"
             self.tracer.instant(
-                "cancelled", category="serve", request_id=request.request_id,
+                "cancelled", category="serve", track=track,
+                request_id=request.request_id,
             )
         elif ticket.expired(metrics.started_at):
             # The deadline passed while the ticket sat in the queue.
@@ -374,12 +534,13 @@ class Server:
             )
             response.error_kind = "DeadlineExceededError"
             self.tracer.instant(
-                "expired", category="serve", request_id=request.request_id,
+                "expired", category="serve", track=track,
+                request_id=request.request_id,
             )
         else:
             with self.tracer.span(
                 f"request {request.request_id}", category="serve",
-                workload=request.workload, worker=worker_name,
+                track=track, workload=request.workload, worker=worker_name,
                 steps=request.steps,
             ) as span:
                 try:
@@ -401,6 +562,7 @@ class Server:
                 "queue-wait", category="serve",
                 start=metrics.enqueued_at,
                 duration=metrics.started_at - metrics.enqueued_at,
+                track=track,
                 request_id=request.request_id,
             )
         metrics.finished_at = time.perf_counter()
@@ -442,7 +604,14 @@ class Server:
                 self._drained.notify_all()
 
     def _serve_one(self, request, metrics, response, ticket=None):
-        workload = self._workload(request.workload)
+        if ticket is not None and ticket.session is not None:
+            return self._serve_session_step(request, metrics, response, ticket)
+        workload = (
+            ticket.workload
+            if ticket is not None and ticket.workload is not None
+            else self._workload(request.workload)
+        )
+        specialization = ticket.specialization if ticket is not None else None
         accelerators = default_accelerators(
             getattr(workload, "accelerator_overrides", None)
         )
@@ -460,7 +629,7 @@ class Server:
 
         start = time.perf_counter()
         plan, plan_provenance = self.session.plan_for_traced(
-            app, precision=request.precision
+            app, precision=request.precision, specialization=specialization
         )
         metrics.plan_seconds = time.perf_counter() - start
         metrics.plan_provenance = plan_provenance
@@ -499,18 +668,110 @@ class Server:
         response.state = dict(result.state)
         response.signature = result_signature(result.outputs)
 
+    def _serve_session_step(self, request, metrics, response, ticket):
+        """One step of a stateful session.
+
+        The first step pays compile + plan (specialized into the
+        session's shape bucket) and pins both on the session; every later
+        step touches no compiler surface at all — provenance "session" —
+        and executes the pinned plan against the session's retained
+        state. A step that expires/cancels/fails never advances the
+        session, so the client can retry it.
+        """
+        sess = ticket.session
+        workload = sess.workload
+        if sess.plan is None:
+            accelerators = default_accelerators(
+                getattr(workload, "accelerator_overrides", None)
+            )
+            start = time.perf_counter()
+            app, compile_provenance = self.session.compile_traced(
+                workload.source(),
+                domain=workload.domain,
+                component_domains=getattr(workload, "component_domains", None),
+                accelerators=accelerators,
+                data_hints=workload.hints(),
+            )
+            metrics.compile_seconds = time.perf_counter() - start
+            metrics.compile_provenance = compile_provenance
+
+            start = time.perf_counter()
+            plan, plan_provenance = self.session.plan_for_traced(
+                app, precision=sess.precision,
+                specialization=sess.specialization,
+            )
+            metrics.plan_seconds = time.perf_counter() - start
+            metrics.plan_provenance = plan_provenance
+            with self._lock:
+                self._distinct_configs.add(request.config_key())
+                if plan_provenance == "built" and plan not in self._built_plans:
+                    self._built_plans.append(plan)
+            sess.pin(app, plan, workload.params(), plan_provenance)
+        else:
+            metrics.compile_provenance = "session"
+            metrics.plan_provenance = "session"
+
+        if ticket.expired():
+            raise DeadlineExceededError(
+                f"request {request.request_id} deadline "
+                f"({request.deadline_s:g}s) expired after compile/plan; "
+                "refusing to execute"
+            )
+        if ticket.cancelled:
+            raise CancelledError(
+                f"request {request.request_id} cancelled before execution"
+            )
+
+        device_seconds = 0.0
+        if self.emulate_device > 0:
+            device_seconds = (
+                self._modeled_device_seconds(request, sess.app)
+                * self.emulate_device
+            )
+        start = time.perf_counter()
+        inputs = (
+            ticket.step_inputs
+            if ticket.step_inputs is not None
+            else workload.inputs(sess.steps_done, sess.previous)
+        )
+        result = sess.plan.execute(
+            inputs=inputs,
+            params=sess.params,
+            state=sess.state,
+            tracer=self.tracer,
+        )
+        if device_seconds > 0:
+            time.sleep(device_seconds)
+        metrics.execute_seconds = time.perf_counter() - start
+        sess.advance(result, metrics.execute_seconds)
+        with self._lock:
+            self._session_steps += 1
+
+        response.outputs = dict(result.outputs)
+        response.state = dict(result.state)
+        response.signature = result_signature(result.outputs)
+
     def _execute_plan(self, request, workload, plan, device_seconds):
-        """N plan invocations threading state, emulating device occupancy."""
+        """N plan invocations threading state, emulating device occupancy.
+
+        ``request.initial_state`` (shape-checked at admission) seeds the
+        state thread, and ``request.step_offset`` shifts the invocation
+        indices — together they let a chain of one-shot requests replay a
+        stateful trajectory step by step, which is the bit-identity
+        reference for sessions.
+        """
         state = {
             key: np.asarray(value)
-            for key, value in workload.initial_state().items()
+            for key, value in (
+                request.initial_state or workload.initial_state()
+            ).items()
         }
         params = workload.params()
         previous = None
         result = None
         for step in range(request.steps):
             result = plan.execute(
-                inputs=workload.inputs(step, previous),
+                inputs=workload.inputs(request.step_offset + step, previous),
                 params=params,
                 state=state,
                 tracer=self.tracer,
@@ -540,14 +801,16 @@ class Server:
         active = fault_plan.activate()
         state = {
             key: np.asarray(value)
-            for key, value in workload.initial_state().items()
+            for key, value in (
+                request.initial_state or workload.initial_state()
+            ).items()
         }
         previous = None
         report = None
         for step in range(request.steps):
             report = manager.run(
                 app,
-                inputs=workload.inputs(step, previous),
+                inputs=workload.inputs(request.step_offset + step, previous),
                 params=workload.params(),
                 state=state,
                 fault_plan=active,
@@ -573,8 +836,11 @@ class Server:
                 "cancelled": self._cancelled,
                 "breaker_rejected": self._breaker_rejected,
                 "timed_out": self._timed_out,
+                "invalid": self._invalid,
                 "outstanding": self._outstanding,
                 "distinct_configs": len(self._distinct_configs),
+                "sessions": len(self._sessions),
+                "session_steps": self._session_steps,
             }
 
     def _pool_counters(self):
@@ -624,6 +890,8 @@ class Server:
             cancelled = self._cancelled
             breaker_rejected = self._breaker_rejected
             timed_out = self._timed_out
+            invalid = self._invalid
+            sessions = list(self._sessions)
         stopped = self._stopped_at or time.perf_counter()
         started = self._started_at or stopped
         report = ServeReport(
@@ -638,6 +906,8 @@ class Server:
             cancelled=cancelled,
             breaker_rejected=breaker_rejected,
             timed_out=timed_out,
+            invalid=invalid,
+            sessions=[sess.summary() for sess in sessions],
             breakers=self.breakers.snapshot(),
             queue_peak=self.scheduler.peak_depth,
             plans_built=stats.graphs_planned - self._stats_base.graphs_planned,

@@ -1,0 +1,227 @@
+"""Long-lived stateful serving sessions.
+
+A :class:`Session` is the serving primitive for stateful workloads — an
+MPC control loop, a streaming FFT, incremental graph updates — that the
+one-shot :class:`~repro.serve.request.Request` path serves badly: every
+one-shot request re-resolves the workload, re-renders its source, hashes
+it into the artifact cache, and re-looks-up the plan, even though a
+control loop runs the *same* specialized program thousands of times.
+
+A session instead:
+
+* opens a workload once (optionally at a custom shape binding, rounded
+  by the server's bucket policy into a shape bucket),
+* pins the compiled app and specialized
+  :class:`~repro.srdfg.plan.ExecutionPlan` after the first step,
+* retains inter-step ``state`` server-side, so each step is one plan
+  invocation against live state,
+* still submits every step through the scheduler, so the existing
+  deadline / cancellation / circuit-breaker machinery applies per step,
+* tags each step's spans with a per-session ``track``, so the whole
+  session renders as a single lane in the Chrome trace regardless of
+  which workers executed the steps.
+
+Steps are strictly sequential (state threading requires it): submitting
+a step while the previous one is outstanding raises
+:class:`~repro.errors.ServeError`. A step that expires, is cancelled, or
+fails does **not** advance the session's state or step index — the
+client may retry it.
+
+Bit-identity contract: a session run over N steps produces exactly the
+outputs of N one-shot requests that thread ``state``/``step_offset``
+client-side at the same binding — the session path skips *work*, never
+changes *math*.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ServeError
+from .metrics import percentile
+from .request import PRIORITY_NORMAL, Request
+
+__all__ = ["Session"]
+
+_SESSION_IDS = itertools.count(1)
+
+
+class Session:
+    """One open stateful workload on a :class:`~repro.serve.server.Server`.
+
+    Created via :meth:`Server.open_session`, not directly. Usable as a
+    context manager (``with server.open_session("MobileRobot") as s:``).
+    """
+
+    def __init__(
+        self,
+        server,
+        name: str,
+        workload,
+        specialization=None,
+        precision: str = "f64",
+        priority: int = PRIORITY_NORMAL,
+        deadline_s: Optional[float] = None,
+    ):
+        self.server = server
+        #: Registry name of the workload (``workload`` is the resolved,
+        #: possibly dim-specialized instance).
+        self.name = name
+        self.workload = workload
+        #: :class:`~repro.srdfg.shapes.SpecializationKey` the pinned plan
+        #: is filed under in the bucket tier (None for static workloads).
+        self.specialization = specialization
+        self.precision = precision
+        self.priority = priority
+        #: Default per-step deadline (overridable per step).
+        self.deadline_s = deadline_s
+        self.session_id = next(_SESSION_IDS)
+        #: Export lane: every span of this session lands on this track.
+        self.track = f"session {self.session_id} ({name})"
+        self.opened_at = time.perf_counter()
+        self.closed = False
+
+        # Pinned after the first step executes.
+        self.app = None
+        self.plan = None
+        self.params = None
+        self.plan_provenance: Optional[str] = None
+
+        # Retained inter-step state, owned by the worker executing the
+        # current step (steps are sequential, so no two workers touch it
+        # concurrently).
+        self.state: Dict[str, np.ndarray] = {
+            key: np.asarray(value)
+            for key, value in workload.initial_state().items()
+        }
+        self.previous = None
+        self.steps_done = 0
+        self.step_seconds: List[float] = []
+
+        self._lock = threading.Lock()
+        self._outstanding = None  # the in-flight step's Ticket, if any
+
+    # -- client surface ------------------------------------------------------
+
+    def dims(self) -> Dict[str, int]:
+        """The (bucketed) binding this session is specialized at."""
+        if self.specialization is not None:
+            return self.specialization.binding.as_dict()
+        return dict(getattr(self.workload, "dims", dict)() or {})
+
+    def submit_step(self, inputs=None, deadline_s="default"):
+        """Submit the next step; returns its Ticket (non-blocking).
+
+        *inputs* overrides the workload's own input generator for this
+        step; ``Server.submit`` shape-checks it at admission, so a
+        mismatch raises :class:`~repro.errors.ShapeError` before any
+        worker is occupied. Only one step may be outstanding; a second
+        submission before the first finishes raises :class:`ServeError`.
+        """
+        with self._lock:
+            if self.closed:
+                raise ServeError(
+                    f"session {self.session_id} ({self.name}) is closed"
+                )
+            if self._outstanding is not None and not self._outstanding.done():
+                raise ServeError(
+                    f"session {self.session_id} ({self.name}) already has "
+                    "an outstanding step; sessions are sequential"
+                )
+        deadline = self.deadline_s if deadline_s == "default" else deadline_s
+        request = Request(
+            workload=self.name,
+            steps=1,
+            precision=self.precision,
+            priority=self.priority,
+            deadline_s=deadline,
+            dims=self.dims() or None,
+        )
+        ticket = self.server.submit(
+            request, _session=self, _inputs=inputs
+        )
+        with self._lock:
+            self._outstanding = ticket
+        return ticket
+
+    def step(self, inputs=None, deadline_s="default", timeout=None):
+        """Run one step synchronously; returns its Response."""
+        ticket = self.submit_step(inputs=inputs, deadline_s=deadline_s)
+        return ticket.wait(timeout=timeout)
+
+    def close(self):
+        """Close the session; further steps are refused.
+
+        The retained state and pinned plan stay readable (for summaries
+        and tests); returns :meth:`summary`.
+        """
+        with self._lock:
+            self.closed = True
+        self.server.tracer.instant(
+            "session-close",
+            category="serve",
+            track=self.track,
+            session=self.session_id,
+            steps=self.steps_done,
+        )
+        return self.summary()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    # -- server-side hooks ---------------------------------------------------
+
+    def pin(self, app, plan, params, provenance):
+        """Record the compiled app + specialized plan (first step only)."""
+        self.app = app
+        self.plan = plan
+        self.params = params
+        self.plan_provenance = provenance
+
+    def advance(self, result, seconds):
+        """Commit one executed step's result into the session."""
+        self.state = result.state
+        self.previous = result
+        self.steps_done += 1
+        self.step_seconds.append(seconds)
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self):
+        dims = self.dims()
+        spec = self.specialization
+        return {
+            "session_id": self.session_id,
+            "workload": self.name,
+            "precision": self.precision,
+            "dims": dims,
+            "bucket": spec.bucket_digest()[:12] if spec else None,
+            "steps": self.steps_done,
+            "plan_provenance": self.plan_provenance,
+            "closed": self.closed,
+            "step_seconds": {
+                "mean": (
+                    sum(self.step_seconds) / len(self.step_seconds)
+                    if self.step_seconds
+                    else 0.0
+                ),
+                "p50": percentile(self.step_seconds, 0.50),
+                "p99": percentile(self.step_seconds, 0.99),
+            },
+        }
+
+    def __repr__(self):
+        return (
+            f"Session({self.session_id}, {self.name!r}, "
+            f"steps={self.steps_done}, "
+            f"{'closed' if self.closed else 'open'})"
+        )

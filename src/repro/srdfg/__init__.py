@@ -21,8 +21,12 @@ from .plan import (
     plan_cache_key,
     plan_for_graph,
 )
+from .shapes import BucketPolicy, ShapeBinding, SpecializationKey
 
 __all__ = [
+    "BucketPolicy",
+    "ShapeBinding",
+    "SpecializationKey",
     "COMPONENT",
     "COMPUTE",
     "CONST",

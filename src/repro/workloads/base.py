@@ -20,9 +20,10 @@ from typing import Callable, Dict
 
 import numpy as np
 
-from ..errors import WorkloadError
+from ..errors import ShapeError, WorkloadError
 from ..srdfg.builder import build
 from ..srdfg.interpreter import Executor
+from ..srdfg.shapes import ShapeBinding
 
 
 def substitute(template, **values):
@@ -82,6 +83,11 @@ class Workload:
     #: Accelerator overrides, e.g. {"DA": "hyperstreams"}.
     accelerator_overrides: Dict[str, str] = {}
 
+    #: Names of class attributes that are symbolic dims — the extents a
+    #: request may rebind (``Request(dims=...)`` / ``with_dims``). Empty
+    #: means the workload is static-shape only.
+    symbolic_dims: tuple = ()
+
     def source(self):
         """PMLang program text."""
         raise NotImplementedError
@@ -110,6 +116,110 @@ class Workload:
     def extract(self, results):
         """Observable value from the invocation history for comparison."""
         raise NotImplementedError
+
+    # -- symbolic dims ----------------------------------------------------------
+
+    def dims(self) -> Dict[str, int]:
+        """Concrete extents of the declared symbolic dims."""
+        return {name: int(getattr(self, name)) for name in self.symbolic_dims}
+
+    def shape_binding(self) -> ShapeBinding:
+        """This instance's dims as an immutable :class:`ShapeBinding`."""
+        return ShapeBinding(self.dims())
+
+    @classmethod
+    def validate_dims(cls, dims):
+        """Reject dim overrides the workload cannot compile.
+
+        The base check is membership + positivity; workloads with
+        structural constraints (FFT sizes must be powers of two, DCT
+        block multiples) override this and raise :class:`ShapeError`.
+        The server checks only :meth:`validate_dim_names` on the *raw*
+        request dims, then runs this on the *bucketed* dims — so a pow2
+        bucket policy may round a request into validity (n=1000 into a
+        1024 FFT) and the constraint applies to what actually compiles.
+        """
+        cls.validate_dim_names(dims)
+
+    @classmethod
+    def validate_dim_names(cls, dims):
+        """The bucket-policy-independent half of :meth:`validate_dims`:
+        every override must name a declared symbolic dim and be a
+        positive int."""
+        unknown = sorted(set(dims) - set(cls.symbolic_dims))
+        if unknown:
+            declared = ", ".join(cls.symbolic_dims) or "none"
+            raise ShapeError(
+                f"workload {cls.name!r} declares no symbolic dim "
+                f"{unknown[0]!r} (declared: {declared})",
+                name=unknown[0],
+            )
+        for name, value in dims.items():
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ShapeError(
+                    f"dim {name!r} must be an int, "
+                    f"got {type(value).__name__}",
+                    name=name,
+                )
+            if value < 1:
+                raise ShapeError(
+                    f"dim {name!r} must be >= 1, got {value}", name=name
+                )
+
+    def with_dims(self, **overrides):
+        """A new instance specialized at the overridden dims.
+
+        The override happens *before* ``__init__`` runs (via a throwaway
+        subclass), so constructors that derive data from the dims — the
+        MPC problem matrices, the FFT input signal — see the new extents.
+        ``with_dims()`` with no overrides returns ``self``.
+        """
+        if not overrides:
+            return self
+        cls = type(self)
+        cls.validate_dims(overrides)
+        specialized = type(cls.__name__, (cls,), dict(overrides))
+        specialized.__module__ = cls.__module__
+        return specialized()
+
+    def expected_input_shapes(self) -> Dict[str, tuple]:
+        """Declared shape of every ``input`` tensor, from the srDFG."""
+        return self._declared_shapes("input")
+
+    def expected_state_shapes(self) -> Dict[str, tuple]:
+        """Declared shape of every ``state`` tensor, from the srDFG."""
+        return self._declared_shapes("state")
+
+    def _declared_shapes(self, modifier):
+        shapes = {}
+        for node in self.cached_graph().var_nodes():
+            if node.attrs.get("modifier") == modifier:
+                shapes[node.name] = tuple(node.attrs.get("shape", ()))
+        return shapes
+
+    def validate_values(self, values, modifier="input"):
+        """Check user-supplied arrays against declared shapes.
+
+        Raises a descriptive :class:`ShapeError` (expected vs got) on the
+        first mismatch or unknown name; silently accepts names the
+        program does not declare a shape for. Used by the serving layer
+        at admission, before a worker is occupied.
+        """
+        declared = self._declared_shapes(modifier)
+        for name, value in values.items():
+            expected = declared.get(name)
+            if expected is None:
+                known = ", ".join(sorted(declared)) or "none"
+                raise ShapeError(
+                    f"workload {self.name!r} declares no {modifier} "
+                    f"{name!r} (declared: {known})",
+                    name=name,
+                )
+            got = tuple(np.shape(value))
+            if got != expected:
+                raise ShapeError.mismatch(
+                    name, expected, got, kind=modifier
+                )
 
     # -- shared machinery -------------------------------------------------------
 
@@ -193,13 +303,17 @@ def register(factory):
     return factory
 
 
-def get_workload(name, **kwargs):
+def get_workload(name, dims=None, **kwargs):
+    """Resolve *name*, optionally specialized at the *dims* binding."""
     factory = _REGISTRY.get(name)
     if factory is None:
         raise WorkloadError(
             f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
         )
-    return factory(**kwargs)
+    workload = factory(**kwargs)
+    if dims:
+        workload = workload.with_dims(**dict(dims))
+    return workload
 
 
 def workload_names():

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import reference
+from ..errors import ShapeError
 from .base import Workload, register
 from .datasets import bandlimited_signal, natural_image
 
@@ -51,6 +52,8 @@ main(input float sig[{n}], param int br[{n}],
 class _FftWorkload(Workload):
     domain = "DSP"
     algorithm = "Fast-Fourier Transform"
+    #: The transform length is rebindable; radix-2 needs a power of two.
+    symbolic_dims = ("n",)
     n = 8192
     functional_steps = 1
     perf_iterations = 1
@@ -60,6 +63,16 @@ class _FftWorkload(Workload):
 
     def __init__(self):
         self.signal = bandlimited_signal(self.n, seed=self.seed)
+
+    @classmethod
+    def validate_dims(cls, dims):
+        super().validate_dims(dims)
+        n = dims.get("n", cls.n)
+        if n < 2 or n & (n - 1):
+            raise ShapeError(
+                f"radix-2 FFT needs n to be a power of two >= 2, got {n}",
+                name="n",
+            )
 
     @property
     def log2n(self):
@@ -118,6 +131,8 @@ main(input float img[{h}][{w}], param float D[8][8],
 class _DctWorkload(Workload):
     domain = "DSP"
     algorithm = "Discrete Cosine Transform"
+    #: The image edge is rebindable; blocking needs a multiple of 8.
+    symbolic_dims = ("size",)
     size = 1024
     functional_steps = 1
     perf_iterations = 1
@@ -126,6 +141,16 @@ class _DctWorkload(Workload):
 
     def __init__(self):
         self.image = natural_image(self.size, self.size, seed=self.seed)
+
+    @classmethod
+    def validate_dims(cls, dims):
+        super().validate_dims(dims)
+        size = dims.get("size", cls.size)
+        if size < 8 or size % 8:
+            raise ShapeError(
+                f"blocked DCT needs size to be a multiple of 8, got {size}",
+                name="size",
+            )
 
     def source(self):
         return DCT_SOURCE.format(

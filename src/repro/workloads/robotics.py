@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import reference
+from ..errors import ShapeError
 from .base import Workload, register, substitute
 from .datasets import mpc_problem
 
@@ -74,6 +75,9 @@ class _MpcWorkload(Workload):
     algorithm = "Model Predictive Control"
     perf_iterations = 1024
     functional_steps = 6
+    #: Rebindable extents: a request may resize the control problem
+    #: (state/prediction/control-horizon lengths) per binding.
+    symbolic_dims = ("state_dim", "ctrl_len", "signal_len", "pred_len")
     state_dim = 3
     ctrl_len = 20
     signal_len = 2
@@ -86,6 +90,23 @@ class _MpcWorkload(Workload):
             self._extended_dim(), self.pred_len, self.ctrl_len, self.signal_len,
             seed=self.seed,
         )
+
+    @classmethod
+    def validate_dims(cls, dims):
+        super().validate_dims(dims)
+        merged = {name: getattr(cls, name) for name in cls.symbolic_dims}
+        merged.update(dims)
+        ctrl, signal = merged["ctrl_len"], merged["signal_len"]
+        # update_ctrl_model reads ctrl_prev[h*j] for j in [0, s-1] and
+        # zeroes ctrl_mdl[(h-1)*j]; both stay in bounds only when the
+        # decimated signal fits inside the control model.
+        if ctrl < 2 or cls.horizon * (signal - 1) >= ctrl:
+            raise ShapeError(
+                f"MPC binding needs ctrl_len > horizon*(signal_len-1) "
+                f"(got ctrl_len={ctrl}, signal_len={signal}, "
+                f"horizon={cls.horizon})",
+                name="ctrl_len",
+            )
 
     def _extended_dim(self):
         return self.state_dim

@@ -108,3 +108,38 @@ class TestProfileAndDse:
 
         payload = json.loads(out_path.read_text())
         assert payload["format"] == "polymath-accelerator-ir"
+
+
+class TestServeSessions:
+    def test_session_mode_compares_against_one_shot(self, capsys, tmp_path):
+        out = tmp_path / "serve.json"
+        assert main(
+            ["serve", "--sessions", "1", "--session-steps", "6",
+             "--workloads", "MobileRobot", "--assert-plan-reuse",
+             "--assert-conservation", "--json", str(out)]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "sessions: 1 opened" in text
+        assert "bit-identity ok" in text
+
+        import json
+
+        payload = json.loads(out.read_text())
+        compare = payload["session_compare"]
+        assert compare["bit_identical"] is True
+        assert compare["steps"] == 6
+        assert payload["sessions"][0]["steps"] == 6
+
+    def test_session_mode_rejects_bad_dims(self, capsys):
+        assert main(
+            ["serve", "--sessions", "1", "--workloads", "MobileRobot",
+             "--dims", "nonsense"]
+        ) == 2
+        assert "bad --dims" in capsys.readouterr().err
+
+    def test_fuzz_dim_variants_tag_matrix_rows(self, capsys):
+        assert main(
+            ["fuzz", "--programs", "2", "--campaigns", "none",
+             "--dim-variants", "2", "--json", "none", "--no-minimize"]
+        ) == 0
+        assert "2 dim variant(s)" in capsys.readouterr().out
