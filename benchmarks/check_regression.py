@@ -12,7 +12,12 @@ A run fails when:
 * a numeric leaf of the figures file drifts more than the tolerance
   from the baseline (wall-clock leaves — ``compile_seconds``,
   ``wall_seconds`` — are skipped; everything else in that file is
-  deterministic cost-model output), or a baseline leaf disappears.
+  deterministic cost-model output), or a baseline leaf disappears,
+* a profile in ``results/BENCH_profiles.json`` loses its generated
+  kernel (build declined where the baseline built one), or its
+  kernel-vs-interpreter steady-state speedup falls more than *twice*
+  the tolerance below the baseline (a ratio of two wall-clock
+  measurements carries roughly double the noise of either one).
 
 Updating a baseline is deliberate: rerun the benchmark and commit the
 new file to ``results/baselines/`` in the same PR that changed the
@@ -101,6 +106,50 @@ def check_figures(current, baseline, tolerance, epsilon=1e-9):
     return failures
 
 
+def check_profiles(current, baseline, tolerance):
+    """Failures in the execute-tier profile table.
+
+    Gates the codegen tier's two load-bearing properties: every profile
+    that built a kernel at baseline time still builds one, and the
+    steady-state speedup over the interpreter has not collapsed. The
+    speedup floor uses ``2 * tolerance`` because it is a ratio of two
+    independently noisy wall-clock measurements.
+    """
+    failures = []
+    current_profiles = current.get("profiles", {})
+    for name, base in sorted(baseline.get("profiles", {}).items()):
+        entry = current_profiles.get(name)
+        if entry is None:
+            failures.append(
+                f"profiles: {name} missing from current results"
+            )
+            continue
+        if base.get("kernel_built") and not entry.get("kernel_built"):
+            failures.append(
+                f"profiles: {name} kernel build declined "
+                f"(baseline built one)"
+            )
+            continue
+        expected = base.get("steady_speedup")
+        got = entry.get("steady_speedup")
+        if expected is None:
+            continue
+        if got is None:
+            failures.append(
+                f"profiles: {name} steady_speedup missing from "
+                f"current results"
+            )
+            continue
+        floor = expected * (1 - 2 * tolerance)
+        if got < floor:
+            failures.append(
+                f"profiles: {name} steady speedup {got:.2f}x fell below "
+                f"{floor:.2f}x (baseline {expected:.2f}x, "
+                f"2x tolerance {2 * tolerance:.0%})"
+            )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -108,6 +157,9 @@ def main(argv=None):
     )
     parser.add_argument(
         "--figures", metavar="PATH", help="fresh BENCH_figures.json"
+    )
+    parser.add_argument(
+        "--profiles", metavar="PATH", help="fresh BENCH_profiles.json"
     )
     parser.add_argument(
         "--baseline-dir",
@@ -124,8 +176,10 @@ def main(argv=None):
         help="allowed relative regression (default 0.15)",
     )
     args = parser.parse_args(argv)
-    if not args.serve and not args.figures:
-        parser.error("nothing to check: pass --serve and/or --figures")
+    if not args.serve and not args.figures and not args.profiles:
+        parser.error(
+            "nothing to check: pass --serve, --figures, and/or --profiles"
+        )
 
     baselines = Path(args.baseline_dir)
     failures, checked = [], 0
@@ -140,6 +194,13 @@ def main(argv=None):
         failures += check_figures(
             load(args.figures),
             load(baselines / "BENCH_figures.json"),
+            args.tolerance,
+        )
+        checked += 1
+    if args.profiles:
+        failures += check_profiles(
+            load(args.profiles),
+            load(baselines / "BENCH_profiles.json"),
             args.tolerance,
         )
         checked += 1

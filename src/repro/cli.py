@@ -15,12 +15,14 @@ Usage (``python -m repro <command>``)::
     python -m repro chaos BrainStimul --inject crash@DA   # fault-tolerant runtime
     python -m repro serve --requests 32 --workers 4       # concurrent service
     python -m repro fuzz --programs 50 --seed 7           # differential fuzzing
+    python -m repro codegen --compare --json -             # kernel codegen tier
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 
 def _session():
@@ -811,12 +813,13 @@ def _cmd_serve(args):
 
 
 def _cmd_fuzz(args):
-    """Differential fuzzing: generated programs vs five oracles.
+    """Differential fuzzing: generated programs vs six oracles.
 
     Generates seeded random PMLang programs and checks every execution
-    path — interpreter lattice, execution plan, rule-based vs legacy
-    optimization, fusion, and fault-recovered HostManager runs under
-    swept fault campaigns — against the reference interpreter, with
+    path — interpreter lattice, execution plan, generated kernel,
+    rule-based vs legacy optimization, fusion, and fault-recovered
+    HostManager runs under swept fault campaigns — against the
+    reference interpreter, with
     automatic test-case minimization for any divergence. Writes the
     machine-readable validation matrix to ``results/BENCH_resilience.json``
     (override with ``--json``) and exits nonzero on any divergence.
@@ -845,6 +848,138 @@ def _cmd_fuzz(args):
             os.makedirs(directory, exist_ok=True)
         _emit_json(report.to_dict(), args.json)
     return 0 if report.ok else 1
+
+
+#: Default workload set for ``repro codegen``: the five figure profiles
+#: (matches ``benchmarks/bench_profiles.py``).
+_CODEGEN_PROFILED = (
+    "MobileRobot", "Twitter-BFS", "MovieL-100K", "FFT-8192", "ResNet-18",
+)
+
+
+def _cmd_codegen(args):
+    """Kernel-codegen report: build, compare, and dump generated kernels.
+
+    Lowers each selected workload's execution plan to a generated kernel
+    through the session (``plan_for(..., codegen=True)``), so cache
+    tiers, diagnostics, and CODEGEN_STATS behave exactly as in serving.
+    ``--compare`` replays a short stateful trajectory through both tiers
+    and requires bit-identical f64 outputs and state at every step —
+    exits nonzero on any mismatch or on a workload whose build declined.
+    """
+    import os
+
+    import numpy as np
+
+    from .codegen import CODEGEN_STATS
+    from .eval import Harness
+
+    CODEGEN_STATS.reset()
+    names = list(args.workload) if args.workload else list(_CODEGEN_PROFILED)
+    harness = Harness()
+    workloads_payload = {}
+    failures = 0
+    for name in names:
+        workload, app, _ = harness.compiled(name)
+        plan = harness.session.plan_for(app, codegen=True)
+        kernel = plan.kernel
+        entry = {"kernel": kernel is not None}
+        if kernel is None:
+            entry["provenance"] = "interpreter"
+            print(f"{name:15s} DECLINED (interpreter tier only)")
+            if args.compare:
+                failures += 1
+            workloads_payload[name] = entry
+            continue
+        report = dict(kernel.report)
+        entry.update(
+            provenance="kernel",
+            source_bytes=len(kernel.source),
+            specialized=report.get("specialized", 0),
+            statements=report.get("statements", 0),
+            fused=report.get("fused", 0),
+            blocked=report.get("blocked", 0),
+            fallback=report.get("fallback", 0),
+        )
+        line = (
+            f"{name:15s} kernel "
+            f"{entry['specialized']}/{entry['statements']} specialized, "
+            f"{entry['fused']} fused, {entry['blocked']} blocked, "
+            f"{entry['source_bytes']} bytes"
+        )
+        if args.dump_source:
+            os.makedirs(args.dump_source, exist_ok=True)
+            path = os.path.join(
+                args.dump_source, f"{name.replace('/', '_')}.py"
+            )
+            with open(path, "w") as handle:
+                handle.write(kernel.source)
+            entry["source_path"] = path
+        if args.compare:
+            params = workload.params()
+            ref_state = {
+                key: np.asarray(value)
+                for key, value in workload.initial_state().items()
+            }
+            kern_state = dict(ref_state)
+            ref_prev = kern_prev = None
+            identical = True
+            interp_s = kernel_s = 0.0
+            for step in range(max(1, args.steps)):
+                ref_in = workload.inputs(step, ref_prev)
+                start = time.perf_counter()
+                ref = plan._execute(ref_in, params, ref_state, None, None)
+                interp_s += time.perf_counter() - start
+                kern_in = workload.inputs(step, kern_prev)
+                start = time.perf_counter()
+                got = kernel.try_execute(plan, kern_in, params, kern_state)
+                kernel_s += time.perf_counter() - start
+                if got is None:
+                    identical = False
+                    break
+                for kind, ref_d, got_d in (
+                    ("output", ref.outputs, got.outputs),
+                    ("state", ref.state, got.state),
+                ):
+                    for key in ref_d:
+                        a, b = ref_d[key], got_d.get(key)
+                        if (
+                            b is None
+                            or a.dtype != b.dtype
+                            or a.shape != b.shape
+                            or not np.array_equal(a, b, equal_nan=True)
+                        ):
+                            identical = False
+                            entry.setdefault("mismatches", []).append(
+                                f"step {step} {kind} {key}"
+                            )
+                ref_state, ref_prev = ref.state, ref
+                kern_state, kern_prev = got.state, got
+            entry.update(
+                identical=identical,
+                steps=max(1, args.steps),
+                interpreter_seconds=interp_s,
+                kernel_seconds=kernel_s,
+                speedup=(interp_s / kernel_s) if kernel_s else None,
+            )
+            status = "bit-identical" if identical else "MISMATCH"
+            line += (
+                f"; compare[{entry['steps']} step(s)]: {status}, "
+                f"interp {interp_s * 1e3:.2f} ms vs "
+                f"kernel {kernel_s * 1e3:.2f} ms"
+            )
+            if not identical:
+                failures += 1
+        print(line)
+        workloads_payload[name] = entry
+    payload = {
+        "workloads": workloads_payload,
+        "stats": CODEGEN_STATS.to_dict(),
+        "ok": failures == 0,
+    }
+    if args.json:
+        _emit_json(payload, args.json)
+    return 1 if failures else 0
 
 
 def _cmd_trace(args):
@@ -1304,8 +1439,9 @@ def build_parser():
     fuzz = sub.add_parser(
         "fuzz",
         help="differential fuzzing: generated PMLang programs checked "
-        "against five oracles (interpreter, plan, legacy pipeline, "
-        "fusion, fault-recovered runtime) with divergence minimization",
+        "against six oracles (interpreter, plan, generated kernel, "
+        "legacy pipeline, fusion, fault-recovered runtime) with "
+        "divergence minimization",
     )
     fuzz.add_argument(
         "--programs", type=int, default=25,
@@ -1352,6 +1488,36 @@ def build_parser():
         help="print per-program progress lines",
     )
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    codegen = sub.add_parser(
+        "codegen",
+        help="kernel codegen tier: build generated kernels for the "
+        "figure workloads, compare against the interpreter "
+        "(bit-identity at f64), and dump generated source",
+    )
+    codegen.add_argument(
+        "--workload", action="append", metavar="NAME",
+        help="workload to lower (repeatable; default: the five "
+        "profiled figure workloads)",
+    )
+    codegen.add_argument(
+        "--compare", action="store_true",
+        help="replay a short stateful trajectory through interpreter "
+        "and kernel tiers; exit nonzero unless bit-identical",
+    )
+    codegen.add_argument(
+        "--steps", type=int, default=3,
+        help="trajectory steps for --compare (default 3)",
+    )
+    codegen.add_argument(
+        "--dump-source", metavar="DIR",
+        help="write each workload's generated kernel source to DIR",
+    )
+    codegen.add_argument(
+        "--json", metavar="PATH",
+        help="machine-readable report (- for stdout)",
+    )
+    codegen.set_defaults(func=_cmd_codegen)
 
     return parser
 

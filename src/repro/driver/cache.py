@@ -77,6 +77,11 @@ _STAT_FIELDS = (
     "bucket_misses",
     "bucket_stores",
     "bucket_evictions",
+    "kernel_hits",
+    "kernel_misses",
+    "kernel_stores",
+    "kernel_disk_hits",
+    "kernel_evictions",
 )
 
 
@@ -102,6 +107,11 @@ class CacheStats:
     bucket_misses: int = 0
     bucket_stores: int = 0
     bucket_evictions: int = 0
+    kernel_hits: int = 0
+    kernel_misses: int = 0
+    kernel_stores: int = 0
+    kernel_disk_hits: int = 0
+    kernel_evictions: int = 0
 
     def __post_init__(self):
         self._lock = threading.Lock()
@@ -151,6 +161,14 @@ class CacheStats:
             )
             if self.bucket_evictions:
                 line += f", {self.bucket_evictions} evicted"
+        if self.kernel_hits or self.kernel_misses or self.kernel_stores:
+            line += (
+                f"; kernels: {self.kernel_hits} hit(s) / "
+                f"{self.kernel_misses} miss(es), "
+                f"{self.kernel_stores} store(s)"
+            )
+            if self.kernel_evictions:
+                line += f", {self.kernel_evictions} evicted"
         return line
 
 
@@ -180,6 +198,14 @@ class ArtifactCache:
     #: sibling buckets can be listed and evicted independently; plans are
     #: memory-only for the same reason as ``_plans``.
     _buckets: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: Generated-kernel tier, keyed by
+    #: :func:`repro.codegen.kernel_cache_key` — a pure derivation of the
+    #: owning plan's key, so plan eviction can always find its sibling.
+    #: Memory holds live :class:`~repro.codegen.KernelArtifact` objects;
+    #: the disk tier persists the generated *source record* (source text,
+    #: constants, scratch specs, report) and recompiles on load, because
+    #: code objects and exec'd functions do not pickle.
+    _kernels: Dict[str, object] = field(default_factory=dict)
     _lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
     )
@@ -358,6 +384,116 @@ class ArtifactCache:
             self.stats.bump(bucket_evictions=1)
             return True
 
+    # -- generated-kernel tier -----------------------------------------------
+
+    def kernel_get(self, key):
+        """Cached KernelArtifact for *key*, or None (counts a hit/miss).
+
+        The disk tier stores source records, not artifacts: a disk hit
+        recompiles the generated source. A record that fails to load *or
+        to recompile* (corrupt pickle, truncated source, bad constants)
+        is evicted and reported exactly like a corrupt artifact entry —
+        a counted miss, never a raise; the session just regenerates.
+        """
+        with self._lock:
+            artifact = self._kernels.get(key)
+            if artifact is not None:
+                self.stats.bump(kernel_hits=1)
+                return artifact
+            if self.cache_dir is not None:
+                record = None
+                try:
+                    path = self._path(key)
+                    if path.exists():
+                        with open(path, "rb") as handle:
+                            record = pickle.load(handle)
+                except Exception as exc:
+                    self.stats.bump(disk_errors=1)
+                    self._evict_disk(key)
+                    self._warn(
+                        f"evicted corrupt kernel cache entry {key[:12]}… "
+                        f"({type(exc).__name__}); treating as a miss"
+                    )
+                if record is not None:
+                    try:
+                        from ..codegen import KernelArtifact
+
+                        artifact = KernelArtifact(
+                            record["plan_key"],
+                            record["source"],
+                            record["constants"],
+                            record["scratch_specs"],
+                            report=record.get("report"),
+                        )
+                    except Exception as exc:
+                        self.stats.bump(disk_errors=1)
+                        self._evict_disk(key)
+                        self._warn(
+                            f"evicted corrupt kernel source entry "
+                            f"{key[:12]}… ({type(exc).__name__}); "
+                            f"treating as a miss"
+                        )
+                    else:
+                        self._kernels[key] = artifact
+                        self.stats.bump(kernel_hits=1, kernel_disk_hits=1)
+                        return artifact
+            self.stats.bump(kernel_misses=1)
+            return None
+
+    def kernel_put(self, key, artifact):
+        with self._lock:
+            self._kernels[key] = artifact
+            self.stats.bump(kernel_stores=1)
+            if self.cache_dir is not None:
+                record = {
+                    "plan_key": artifact.plan_key,
+                    "source": artifact.source,
+                    "constants": getattr(artifact, "constants", {}),
+                    "scratch_specs": list(artifact.scratch_specs),
+                    "report": dict(artifact.report),
+                }
+                try:
+                    payload = pickle.dumps(record)
+                except Exception:
+                    self.stats.bump(disk_errors=1)
+                    return False
+                self._write_disk(key, payload)
+            return True
+
+    def evict_kernel(self, key):
+        """Drop one kernel entry from memory and disk.
+
+        Returns True if anything was evicted."""
+        with self._lock:
+            evicted = self._kernels.pop(key, None) is not None
+            if self.cache_dir is not None:
+                try:
+                    path = self._path(key)
+                    if path.exists():
+                        path.unlink()
+                        evicted = True
+                except OSError:
+                    pass
+            if evicted:
+                self.stats.bump(kernel_evictions=1)
+            return evicted
+
+    def evict_plan(self, key):
+        """Drop a plan *and its sibling generated kernel* together.
+
+        Mirrors ``evict_bucket``'s sibling safety in the other
+        direction: a stale plan must never leave its generated kernel
+        behind (the kernel bakes the plan's shapes and constants in), so
+        eviction derives the kernel key from the plan key and clears
+        both tiers. Returns True if the plan entry existed.
+        """
+        from ..codegen import kernel_cache_key
+
+        with self._lock:
+            existed = self._plans.pop(key, None) is not None
+            self.evict_kernel(kernel_cache_key(key))
+            return existed
+
     def bucket_summary(self):
         """``template digest (12 chars) -> bucket count``, for reports."""
         with self._lock:
@@ -371,6 +507,7 @@ class ArtifactCache:
             self._memory.clear()
             self._plans.clear()
             self._buckets.clear()
+            self._kernels.clear()
 
     def __len__(self):
         with self._lock:

@@ -528,7 +528,7 @@ class CompilerSession:
     # -- execution plans --------------------------------------------------------
 
     def plan_for(self, app, precision="f64", lattice_limit=None,
-                 enable_einsum=True, specialization=None):
+                 enable_einsum=True, specialization=None, codegen=False):
         """The shared :class:`~repro.srdfg.plan.ExecutionPlan` for *app*.
 
         Backed by the artifact cache's plan tier, keyed on the graph's
@@ -541,6 +541,11 @@ class CompilerSession:
         additionally files the plan in the cache's shape-bucket tier, so
         the specializations of one source template are grouped, counted
         (``bucket_hits``/``bucket_misses``), and evictable per bucket.
+
+        *codegen=True* additionally lowers the plan to a generated kernel
+        (cache-first, recorded as a ``codegen`` stage) and attaches it, so
+        ``plan.execute`` runs the kernel tier with transparent interpreter
+        fallback. A declined build is a diagnostic, never an error.
         """
         plan, _ = self.plan_for_traced(
             app,
@@ -548,11 +553,13 @@ class CompilerSession:
             lattice_limit=lattice_limit,
             enable_einsum=enable_einsum,
             specialization=specialization,
+            codegen=codegen,
         )
         return plan
 
     def plan_for_traced(self, app, precision="f64", lattice_limit=None,
-                        enable_einsum=True, specialization=None):
+                        enable_einsum=True, specialization=None,
+                        codegen=False):
         """:meth:`plan_for` plus provenance: ``(plan, "built"|"cache"|"coalesced")``.
 
         Identical concurrent plan requests coalesce exactly like compiles
@@ -566,7 +573,9 @@ class CompilerSession:
             enable_einsum=enable_einsum,
         )
         if specialization is not None:
-            return self._plan_for_specialized(app, config, specialization)
+            return self._plan_for_specialized(
+                app, config, specialization, codegen=codegen
+            )
         start = time.perf_counter()
         key = plan_cache_key(app.graph, config)
         with self.tracer.span(
@@ -620,13 +629,16 @@ class CompilerSession:
         with self._state_lock:
             if plan not in self.plans:
                 self.plans.append(plan)
+        if codegen:
+            self._ensure_kernel(plan, key)
         return plan, provenance
 
-    def _plan_for_specialized(self, app, config, specialization):
+    def _plan_for_specialized(self, app, config, specialization,
+                              codegen=False):
         """Shape-bucketed plan lookup: bucket tier first, then the
         normal structural plan tier, filing the result back under the
         specialization's (template, bucket) pair."""
-        from ..srdfg.plan import memoize_plan
+        from ..srdfg.plan import memoize_plan, plan_cache_key
 
         template = specialization.template_digest()
         bucket = specialization.bucket_digest()
@@ -659,6 +671,13 @@ class CompilerSession:
                 with self._state_lock:
                     if plan not in self.plans:
                         self.plans.append(plan)
+                if codegen and plan.kernel is None:
+                    # A bucket-pinned plan pins its kernel with it: the
+                    # kernel rides the plan object, so every session that
+                    # pins this bucket gets the kernel tier for free.
+                    self._ensure_kernel(
+                        plan, plan_cache_key(app.graph, config)
+                    )
                 return plan, "cache"
             span.note(provenance="miss")
         plan, provenance = self.plan_for_traced(
@@ -666,9 +685,63 @@ class CompilerSession:
             precision=config.precision,
             lattice_limit=config.lattice_limit,
             enable_einsum=config.enable_einsum,
+            codegen=codegen,
         )
         self.cache.bucket_put(template, bucket, plan)
         return plan, provenance
+
+    def _ensure_kernel(self, plan, plan_key):
+        """Attach a generated kernel to *plan*, cache-first.
+
+        Recorded as a ``codegen`` stage: cache hits carry
+        ``cached=True`` like plan hits do, fresh builds carry the
+        emitter's specialization summary, and a declined build records
+        the decline (the plan keeps executing interpreted — a declined
+        build is never an error). Returns the kernel or None.
+        """
+        from ..codegen import build_kernel, kernel_cache_key
+
+        if plan.kernel is not None:
+            return plan.kernel
+        start = time.perf_counter()
+        key = kernel_cache_key(plan_key)
+        with self.tracer.span(
+            "codegen",
+            category="kernel",
+            graph=plan.graph_name,
+            key=key[:12],
+        ) as span:
+            artifact = self.cache.kernel_get(key)
+            provenance = "cache"
+            if artifact is None:
+                artifact = build_kernel(
+                    plan, plan_key=plan_key, diagnostics=self.diagnostics
+                )
+                if artifact is not None:
+                    provenance = "built"
+                    self.cache.kernel_put(key, artifact)
+                else:
+                    provenance = "declined"
+            span.note(provenance=provenance)
+        if artifact is not None:
+            plan.attach_kernel(artifact)
+            report = artifact.report
+            detail = (
+                f"{report.get('specialized', 0)}/"
+                f"{report.get('statements', 0)} specialized, "
+                f"{len(artifact.source)} bytes, key {key[:12]}"
+            )
+        else:
+            detail = f"declined, key {key[:12]}"
+        self._record(
+            StageRecord(
+                stage="codegen",
+                seconds=time.perf_counter() - start,
+                cached=provenance == "cache",
+                detail=detail,
+            )
+        )
+        return artifact
 
     # -- reporting -------------------------------------------------------------
 
@@ -744,7 +817,20 @@ class CompilerSession:
             ],
             "diagnostics": dict(counts),
             "rewrite": self._rewrite_counters(),
+            "codegen": self._codegen_counters(),
         }
+
+    @staticmethod
+    def _codegen_counters():
+        """Kernel-codegen counters (builds / declines / fallbacks).
+
+        Process-wide like the rewrite counters, surfaced here so
+        ``repro stats --json`` and the serve report expose the kernel
+        tier's behaviour for the plans this process ran.
+        """
+        from ..codegen import CODEGEN_STATS
+
+        return CODEGEN_STATS.to_dict()
 
     @staticmethod
     def _rewrite_counters():

@@ -1,8 +1,8 @@
-"""The five differential oracles.
+"""The six differential oracles.
 
 Every generated program is executed by the *reference interpreter* — an
 :class:`~repro.srdfg.interpreter.Executor` over the raw, unoptimized
-srDFG — and the result is compared against five independent paths
+srDFG — and the result is compared against six independent paths
 through the stack:
 
 ``interpreter``
@@ -14,6 +14,11 @@ through the stack:
     The full compile pipeline (rule-based optimizer, lowering,
     translation) followed by shared :class:`ExecutionPlan` execution.
     Bit-identical at f64.
+``codegen``
+    The plan lowered further into a generated straight-line numpy kernel
+    (:mod:`repro.codegen`), replayed through ``KernelArtifact.run``.
+    Bit-identical at f64; a declined build passes (transparent fallback
+    is the tier's contract) but a runtime failure is a finding.
 ``legacy``
     The same compile through ``legacy_pipeline`` (imperative pass
     implementations). Both the execution result (bit-identical at f64)
@@ -64,7 +69,7 @@ __all__ = [
 ]
 
 #: Oracle names in report order.
-ORACLES = ("interpreter", "plan", "legacy", "fusion", "faults")
+ORACLES = ("interpreter", "plan", "codegen", "legacy", "fusion", "faults")
 
 #: Per-precision comparison policy: (strict_bit_identity, rtol, atol).
 #: The tolerance is the fallback for oracles where bit-identity is not
@@ -243,6 +248,56 @@ def check_plan(program, precision, context, reference, app):
     return CheckResult("plan", precision, ok, detail=detail, max_error=err)
 
 
+def check_codegen(program, precision, context, reference, app):
+    """Generated-kernel execution vs the reference.
+
+    Lowers the same shape-bucketed plan the plan oracle runs (shared
+    through the artifact cache) into a generated kernel and replays the
+    stateful trajectory through ``KernelArtifact.run`` directly — the
+    kernel is deliberately *not* attached to the shared plan, so the
+    plan oracle keeps exercising the interpreted tier. Bit-identical at
+    f64, tolerance at f32 (the kernel threads the same host-fallback f32
+    rounding the plan does). A declined build passes with a detail note
+    (transparent fallback is the tier's contract), but a *runtime*
+    failure on a program the reference executes cleanly is a finding.
+    """
+    from ..codegen import build_kernel
+    from ..driver.cache import fingerprint
+    from ..srdfg.interpreter import ExecutionResult
+    from ..srdfg.shapes import ShapeBinding, SpecializationKey
+
+    spec = SpecializationKey(
+        template=fingerprint("fuzz-template", program.seed),
+        binding=ShapeBinding(program.sizes),
+        config_key=(precision, fingerprint("fuzz-source", program.render())),
+    )
+    plan = context.rules.plan_for(
+        app, precision=precision, specialization=spec
+    )
+    kernel = build_kernel(
+        plan,
+        plan_key=f"fuzz:{program.seed}:{precision}",
+        diagnostics=context.rules.diagnostics,
+    )
+    if kernel is None:
+        return CheckResult(
+            "codegen", precision, True,
+            detail="build declined; interpreted tier only",
+        )
+
+    def execute(inputs, params, state):
+        outputs, state_out = kernel.run(inputs, params, state)
+        result = ExecutionResult()
+        result.outputs.update(outputs)
+        result.state.update(state_out)
+        return result
+
+    candidate = _execute_steps(program, execute)
+    ok, detail, err = _compare(reference, candidate, precision)
+    return CheckResult("codegen", precision, ok, detail=detail,
+                       max_error=err)
+
+
 def check_legacy(program, precision, context, reference, app):
     """Legacy-pipeline compilation: execution and structural parity."""
     source = program.render()
@@ -364,7 +419,7 @@ def run_program(program, context=None, precisions=("f64", "f32"),
             detail=f"build failed: {type(exc).__name__}: {exc}",
         )]
     app = None
-    if any(o in oracles for o in ("plan", "legacy", "faults")):
+    if any(o in oracles for o in ("plan", "codegen", "legacy", "faults")):
         try:
             app = context.rules.compile(source, domain=context.domain)
         except Exception as exc:  # noqa: BLE001
@@ -388,6 +443,9 @@ def run_program(program, context=None, precisions=("f64", "f32"),
                         program, precision, context, reference, graph))
                 elif oracle == "plan":
                     results.append(check_plan(
+                        program, precision, context, reference, app))
+                elif oracle == "codegen":
+                    results.append(check_codegen(
                         program, precision, context, reference, app))
                 elif oracle == "legacy":
                     results.append(check_legacy(

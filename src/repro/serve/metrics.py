@@ -45,6 +45,9 @@ class RequestMetrics:
     #: its artifact (empty when the phase never ran).
     compile_provenance: str = ""
     plan_provenance: str = ""
+    #: "kernel" when the request's plan carried a generated kernel (the
+    #: codegen execution tier); empty when it executed interpreted.
+    kernel_provenance: str = ""
     worker: str = ""
     ok: bool = True
     #: "completed" | "failed" | "expired" | "cancelled" | "timed_out"
@@ -81,6 +84,7 @@ class RequestMetrics:
             "total_seconds": self.total_seconds,
             "compile_provenance": self.compile_provenance,
             "plan_provenance": self.plan_provenance,
+            "kernel_provenance": self.kernel_provenance,
         }
 
 

@@ -167,6 +167,7 @@ class Server:
         breaker_threshold=5,
         breaker_cooldown_s=0.25,
         bucket_policy="exact",
+        codegen=False,
     ):
         #: One tracer spans the whole request lifecycle: serve-level
         #: request/queue-wait spans here, session/pass/plan spans through
@@ -196,6 +197,10 @@ class Server:
         #: How requested dims round into shape buckets ("exact", "pow2",
         #: "multiple:N", or a BucketPolicy instance).
         self.bucket_policy = BucketPolicy.parse(bucket_policy)
+        #: Lower every plan to a generated kernel (the third execution
+        #: tier) — requests record "kernel" provenance when their plan
+        #: carries one; declined builds fall back to interpretation.
+        self.codegen = codegen
 
         self._lock = threading.Lock()
         self._outstanding = 0
@@ -629,10 +634,14 @@ class Server:
 
         start = time.perf_counter()
         plan, plan_provenance = self.session.plan_for_traced(
-            app, precision=request.precision, specialization=specialization
+            app, precision=request.precision, specialization=specialization,
+            codegen=self.codegen,
         )
         metrics.plan_seconds = time.perf_counter() - start
         metrics.plan_provenance = plan_provenance
+        metrics.kernel_provenance = (
+            "kernel" if plan.kernel is not None else ""
+        )
         with self._lock:
             self._distinct_configs.add(request.config_key())
             if plan_provenance == "built" and plan not in self._built_plans:
@@ -699,6 +708,7 @@ class Server:
             plan, plan_provenance = self.session.plan_for_traced(
                 app, precision=sess.precision,
                 specialization=sess.specialization,
+                codegen=self.codegen,
             )
             metrics.plan_seconds = time.perf_counter() - start
             metrics.plan_provenance = plan_provenance
@@ -710,6 +720,10 @@ class Server:
         else:
             metrics.compile_provenance = "session"
             metrics.plan_provenance = "session"
+        metrics.kernel_provenance = (
+            "kernel" if sess.plan is not None
+            and sess.plan.kernel is not None else ""
+        )
 
         if ticket.expired():
             raise DeadlineExceededError(
@@ -862,11 +876,15 @@ class Server:
         Sources without a safe reset (scheduler, serve, pool counters are
         load-bearing for :meth:`report`) register snapshot-only.
         """
+        from ..codegen import CODEGEN_STATS
         from ..rewrite.engine import REWRITE_STATS
 
         registry = registry or MetricsRegistry()
         registry.register("plan", PLAN_STATS.to_dict, PLAN_STATS.reset)
         registry.register("rewrite", REWRITE_STATS.to_dict, REWRITE_STATS.reset)
+        registry.register(
+            "codegen", CODEGEN_STATS.to_dict, CODEGEN_STATS.reset
+        )
         stats = self.session.cache.stats
         registry.register("cache", stats.to_dict, stats.reset)
         registry.register("scheduler", self.scheduler.counters)
@@ -931,6 +949,7 @@ class Server:
             for phase, provenance in (
                 ("compile", metrics.compile_provenance),
                 ("plan", metrics.plan_provenance),
+                ("execute", metrics.kernel_provenance),
             ):
                 if not provenance:
                     continue

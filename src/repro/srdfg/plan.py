@@ -760,6 +760,9 @@ class ExecutionPlan:
             build_seconds=time.perf_counter() - start
         )
         self._counters_lock = threading.Lock()
+        #: Optional generated-kernel tier (see repro.codegen); attached
+        #: post-build by the driver, never required for correctness.
+        self.kernel = None
         PLAN_STATS.bump(graphs_planned=1)
         if diagnostics is not None:
             diagnostics.note(
@@ -826,6 +829,23 @@ class ExecutionPlan:
         graphs, sessions, and servers — storing a tracer on the plan
         would leak one server's spans into another's timeline.
         """
+        if self.kernel is not None and trace is None:
+            if tracer is not None and tracer.enabled:
+                with tracer.span(
+                    f"kernel {self.graph_name}", category="kernel",
+                    steps=len(self.steps),
+                ):
+                    result = self.kernel.try_execute(
+                        self, inputs, params, state, output_init
+                    )
+            else:
+                result = self.kernel.try_execute(
+                    self, inputs, params, state, output_init
+                )
+            if result is not None:
+                return result
+            # Runtime kernel fallback (already counted): re-execute
+            # interpreted — the kernel never mutated the caller's dicts.
         if tracer is not None and tracer.enabled:
             with tracer.span(
                 f"execute {self.graph_name}", category="plan",
@@ -872,6 +892,16 @@ class ExecutionPlan:
             if self.counters.first_seconds is None:
                 self.counters.first_seconds = seconds
         return result
+
+    def attach_kernel(self, kernel):
+        """Attach (or detach, with None) a generated-kernel artifact.
+
+        Subsequent ``execute`` calls prefer the kernel tier, falling
+        back to the interpreted step list transparently whenever the
+        kernel declines at run time or a step trace is requested.
+        """
+        self.kernel = kernel
+        return self
 
     # -- reporting ---------------------------------------------------------
 

@@ -1,0 +1,350 @@
+"""Tests for the kernel codegen tier (repro.codegen).
+
+The contract under test: a generated kernel is *bit-identical* to the
+interpreted ExecutionPlan at f64 — it either replays the interpreter's
+exact numpy op sequence with build-time-folded index arithmetic, or
+falls back per-statement to the interpreter's own StatementPlan — and
+codegen failure at any level (build decline, runtime fallback, corrupt
+cache entry) is a counted diagnostic, never an error.
+
+Equivalence tests use integer-valued floats so bit-identity assertions
+(``np.array_equal``) also hold at f32, where the plan rounds at
+statement boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codegen import (
+    CODEGEN_STATS,
+    build_kernel,
+    kernel_cache_key,
+)
+from repro.driver import CompilerSession
+from repro.targets import default_accelerators
+from repro.driver.cache import ArtifactCache
+from repro.driver.diagnostics import Diagnostics
+
+MATVEC = (
+    "main(input float A[6][5], input float x[5], output float y[6]) {"
+    " index i[0:5], j[0:4];"
+    " y[i] = sum[j](A[i][j] * x[j]); }"
+)
+
+STATEFUL = (
+    "main(input float u[4], state float acc[4], output float y[4]) {"
+    " index i[0:3];"
+    " acc[i] = acc[i] + u[i];"
+    " y[i] = 2.0 * acc[i]; }"
+)
+
+#: Predicated reduction (the guarded-stencil idiom): the write into
+#: ``y[i]`` is masked by the ``i + j < 8`` predicate.
+PREDICATED = (
+    "main(input float w[3], input float x[8], output float y[8]) {"
+    " index i[0:7], j[0:2];"
+    " y[i] = sum[j: i + j < 8](w[j] * x[i + j]); }"
+)
+
+
+def _int_floats(rng, shape, dtype=np.float64):
+    return rng.integers(-6, 7, size=shape).astype(dtype)
+
+
+def _compile_plan(source, codegen=True, **plan_kwargs):
+    session = CompilerSession(default_accelerators())
+    app = session.compile(source, domain="DA")
+    plan = session.plan_for(app, codegen=codegen, **plan_kwargs)
+    return session, plan
+
+
+def _assert_identical(ref, got):
+    assert set(ref.outputs) == set(got.outputs)
+    for key in ref.outputs:
+        a, b = ref.outputs[key], got.outputs[key]
+        assert a.dtype == b.dtype, key
+        assert a.shape == b.shape, key
+        assert np.array_equal(a, b, equal_nan=True), key
+    assert set(ref.state) == set(got.state)
+    for key in ref.state:
+        assert np.array_equal(ref.state[key], got.state[key],
+                              equal_nan=True), key
+
+
+class TestKernelEquivalence:
+    def test_matvec_bit_identical(self):
+        session, plan = _compile_plan(MATVEC)
+        assert plan.kernel is not None
+        rng = np.random.default_rng(3)
+        inputs = {"A": _int_floats(rng, (6, 5)), "x": _int_floats(rng, 5)}
+        ref = plan._execute(inputs, {}, {}, {}, None)
+        got = plan.kernel.try_execute(plan, inputs)
+        assert got is not None
+        _assert_identical(ref, got)
+
+    def test_chunked_statement_bit_identical(self):
+        """A lattice_limit small enough to force the interpreter's
+        chunked accumulation path must not diverge from the kernel."""
+        session, plan = _compile_plan(MATVEC, lattice_limit=8)
+        assert plan.kernel is not None
+        rng = np.random.default_rng(5)
+        inputs = {"A": _int_floats(rng, (6, 5)), "x": _int_floats(rng, 5)}
+        ref = plan._execute(inputs, {}, {}, {}, None)
+        got = plan.kernel.try_execute(plan, inputs)
+        assert got is not None
+        _assert_identical(ref, got)
+
+    def test_predicated_write_bit_identical(self):
+        session, plan = _compile_plan(PREDICATED)
+        assert plan.kernel is not None
+        rng = np.random.default_rng(7)
+        inputs = {"w": _int_floats(rng, 3), "x": _int_floats(rng, 8)}
+        ref = plan._execute(inputs, {}, {}, {}, None)
+        got = plan.kernel.try_execute(plan, inputs)
+        assert got is not None
+        _assert_identical(ref, got)
+
+    def test_f32_precision_threaded(self):
+        """f32 plans generate f32 kernels: same dtypes, same values on
+        integer-valued data (exact at f32)."""
+        session, plan = _compile_plan(MATVEC, precision="f32")
+        assert plan.kernel is not None
+        rng = np.random.default_rng(9)
+        inputs = {
+            "A": _int_floats(rng, (6, 5), np.float32),
+            "x": _int_floats(rng, 5, np.float32),
+        }
+        ref = plan._execute(inputs, {}, {}, {}, None)
+        got = plan.kernel.try_execute(plan, inputs)
+        assert got is not None
+        assert got.outputs["y"].dtype == np.float32
+        _assert_identical(ref, got)
+
+    def test_stateful_session_50_steps_one_build(self):
+        """50 stateful steps re-using one pinned plan build exactly one
+        kernel (CODEGEN_STATS.kernels_built), and the kernel-tier state
+        thread is bit-identical to the interpreter's."""
+        base = CODEGEN_STATS.to_dict()
+        session = CompilerSession(default_accelerators())
+        app = session.compile(STATEFUL, domain="DA")
+        rng = np.random.default_rng(11)
+        ref_state = {"acc": np.zeros(4)}
+        kern_state = {"acc": np.zeros(4)}
+        plan = None
+        for step in range(50):
+            # plan_for every step, like a serving session would: the
+            # cache returns the same plan with its kernel still attached.
+            plan = session.plan_for(app, codegen=True)
+            assert plan.kernel is not None
+            u = {"u": _int_floats(rng, 4)}
+            ref = plan._execute(u, {}, ref_state, {}, None)
+            got = plan.execute(u, params={}, state=kern_state)
+            _assert_identical(ref, got)
+            ref_state, kern_state = ref.state, got.state
+        stats = CODEGEN_STATS.to_dict()
+        assert stats["kernels_built"] - base["kernels_built"] == 1
+        assert stats["kernel_fallbacks"] == base["kernel_fallbacks"]
+
+    def test_plan_execute_prefers_kernel(self):
+        session, plan = _compile_plan(STATEFUL)
+        base = CODEGEN_STATS.to_dict()
+        result = plan.execute({"u": np.ones(4)}, state={"acc": np.zeros(4)})
+        assert np.array_equal(result.outputs["y"], 2.0 * np.ones(4))
+        stats = CODEGEN_STATS.to_dict()
+        assert stats["kernel_executions"] - base["kernel_executions"] == 1
+
+    def test_traced_execution_skips_kernel(self):
+        """A traced run (per-statement observation) must use the
+        interpreter even when a kernel is attached."""
+        session, plan = _compile_plan(MATVEC)
+        assert plan.kernel is not None
+        base = CODEGEN_STATS.to_dict()
+        rng = np.random.default_rng(13)
+        inputs = {"A": _int_floats(rng, (6, 5)), "x": _int_floats(rng, 5)}
+        trace = []
+        plan.execute(inputs, trace=trace)
+        assert trace, "trace list should receive per-step records"
+        stats = CODEGEN_STATS.to_dict()
+        assert stats["kernel_executions"] == base["kernel_executions"]
+
+
+class TestBuildContract:
+    def test_build_never_raises_and_counts_decline(self):
+        class Hostile:
+            graph_name = "hostile"
+            steps = property(lambda self: (_ for _ in ()).throw(
+                RuntimeError("boom")))
+
+        base = CODEGEN_STATS.to_dict()
+        diagnostics = Diagnostics()
+        assert build_kernel(Hostile(), diagnostics=diagnostics) is None
+        stats = CODEGEN_STATS.to_dict()
+        assert stats["builds_declined"] - base["builds_declined"] == 1
+        assert any(
+            "codegen declined" in entry.message
+            for entry in diagnostics.entries
+        )
+
+    def test_codegen_stage_recorded(self):
+        session, plan = _compile_plan(MATVEC)
+        assert session.stage_executions("codegen") == 1
+        stats = session.stats_dict()
+        assert "codegen" in stats
+        assert stats["cache"]["kernel_stores"] == 1
+
+    def test_codegen_off_by_default(self):
+        session, plan = _compile_plan(MATVEC, codegen=False)
+        assert plan.kernel is None
+
+
+class TestKernelCache:
+    def test_disk_round_trip_recompiles_source(self, tmp_path):
+        session, plan = _compile_plan(MATVEC)
+        artifact = plan.kernel
+        cache = ArtifactCache(cache_dir=str(tmp_path))
+        key = kernel_cache_key("k1")
+        cache.kernel_put(key, artifact)
+        cache._kernels.clear()
+        loaded = cache.kernel_get(key)
+        assert loaded is not None
+        assert loaded.source == artifact.source
+        assert cache.stats.kernel_disk_hits == 1
+        rng = np.random.default_rng(17)
+        inputs = {"A": _int_floats(rng, (6, 5)), "x": _int_floats(rng, 5)}
+        ref = plan._execute(inputs, {}, {}, {}, None)
+        outputs, _ = loaded.run(inputs)
+        assert np.array_equal(ref.outputs["y"], outputs["y"])
+
+    def test_corrupt_pickle_evicted_not_raised(self, tmp_path):
+        diagnostics = Diagnostics()
+        cache = ArtifactCache(cache_dir=str(tmp_path),
+                              diagnostics=diagnostics)
+        key = kernel_cache_key("k2")
+        cache._path(key).write_bytes(b"\x80garbage")
+        assert cache.kernel_get(key) is None
+        assert not cache._path(key).exists()
+        assert cache.stats.disk_errors == 1
+        assert any(
+            "corrupt kernel" in entry.message
+            for entry in diagnostics.entries
+        )
+
+    def test_corrupt_source_record_evicted_not_raised(self, tmp_path):
+        """A record that unpickles but holds uncompilable source is the
+        stale-artifact case: evicted with a diagnostic, counted a miss,
+        never a raise."""
+        import pickle
+
+        diagnostics = Diagnostics()
+        cache = ArtifactCache(cache_dir=str(tmp_path),
+                              diagnostics=diagnostics)
+        key = kernel_cache_key("k3")
+        record = {
+            "plan_key": "k3",
+            "source": "def _kernel(:  # truncated mid-write",
+            "constants": {},
+            "scratch_specs": [],
+            "report": {},
+        }
+        cache._path(key).write_bytes(pickle.dumps(record))
+        assert cache.kernel_get(key) is None
+        assert not cache._path(key).exists()
+        assert any(
+            "corrupt kernel source" in entry.message
+            for entry in diagnostics.entries
+        )
+        # Still a functioning cache afterwards.
+        assert cache.kernel_get(key) is None
+
+    def test_evict_plan_evicts_sibling_kernel(self, tmp_path):
+        session, plan = _compile_plan(MATVEC)
+        cache = ArtifactCache(cache_dir=str(tmp_path))
+        plan_key = "plan-xyz"
+        cache.plan_put(plan_key, plan)
+        cache.kernel_put(kernel_cache_key(plan_key), plan.kernel)
+        assert cache._path(kernel_cache_key(plan_key)).exists()
+        assert cache.evict_plan(plan_key)
+        assert cache.plan_get(plan_key) is None
+        assert kernel_cache_key(plan_key) not in cache._kernels
+        assert not cache._path(kernel_cache_key(plan_key)).exists()
+        assert cache.stats.kernel_evictions == 1
+
+    def test_second_session_hits_kernel_disk_tier(self, tmp_path):
+        first = CompilerSession(default_accelerators(), cache_dir=str(tmp_path))
+        app = first.compile(MATVEC, domain="DA")
+        plan = first.plan_for(app, codegen=True)
+        assert plan.kernel is not None
+
+        second = CompilerSession(default_accelerators(), cache_dir=str(tmp_path))
+        app2 = second.compile(MATVEC, domain="DA")
+        plan2 = second.plan_for(app2, codegen=True)
+        assert plan2.kernel is not None
+        assert second.cache.stats.kernel_disk_hits == 1
+        assert plan2.kernel.source == plan.kernel.source
+
+
+class TestServeIntegration:
+    def test_request_provenance_gains_kernel(self):
+        from repro.serve import Request, Server
+
+        with Server(workers=2, queue_capacity=8, codegen=True) as server:
+            ticket = server.submit(Request(workload="MobileRobot", steps=2))
+            response = ticket.wait(timeout=120)
+        assert response.ok
+        assert response.metrics.kernel_provenance == "kernel"
+        report = server.report()
+        assert report.provenance["execute"]["kernel"] >= 1
+
+    def test_metrics_registry_exposes_codegen(self):
+        from repro.serve import Server
+
+        with Server(workers=1, queue_capacity=4) as server:
+            registry = server.metrics_registry()
+        assert "codegen" in registry.sources()
+
+
+class TestFuzzOracle:
+    def test_codegen_oracle_registered(self):
+        from repro.fuzz import ORACLES
+
+        assert "codegen" in ORACLES
+
+    def test_codegen_oracle_runs_and_builds(self):
+        from repro.fuzz import run_fuzz
+
+        base = CODEGEN_STATS.to_dict()
+        report = run_fuzz(programs=2, seed=1, campaigns="none",
+                          minimize=False, dim_variants=2)
+        assert report.ok, report.render()
+        oracle_checks = [
+            check
+            for row in report.matrix
+            for check in row["checks"]
+            if check["oracle"] == "codegen"
+        ]
+        # 2 seeds x 2 variants x 2 precisions.
+        assert len(oracle_checks) == 8
+        assert all(check["ok"] for check in oracle_checks)
+        stats = CODEGEN_STATS.to_dict()
+        assert stats["kernels_built"] > base["kernels_built"]
+
+
+class TestCli:
+    def test_codegen_compare_json(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "codegen", "--workload", "MobileRobot", "--compare",
+            "--steps", "2", "--json", "-",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+        import json
+
+        payload = json.loads(out[out.index("{"):])
+        entry = payload["workloads"]["MobileRobot"]
+        assert entry["provenance"] == "kernel"
+        assert entry["identical"] is True
