@@ -723,16 +723,38 @@ def _cmd_serve(args):
         tracer = Tracer()
 
     PLAN_STATS.reset()
-    server = Server(
-        workers=args.workers,
-        queue_capacity=args.queue_depth,
-        emulate_device=args.emulate_device,
-        tracer=tracer,
-        breaker_threshold=args.breaker_threshold,
-    )
-    with server:
-        responses, backpressure_retries = replay(server, trace)
-    report = server.report()
+    session = None
+    scratch = None
+    cache_dir = getattr(args, "cache_dir", None)
+    pool = getattr(args, "pool", "thread")
+    if cache_dir is None and pool == "process":
+        # Worker processes coalesce compiles through the disk tier; give
+        # them one even when the caller didn't ask for persistence.
+        import tempfile
+
+        scratch = tempfile.TemporaryDirectory(prefix="repro-serve-")
+        cache_dir = scratch.name
+    if cache_dir is not None:
+        from .driver import CompilerSession
+
+        session = CompilerSession(cache_dir=cache_dir)
+    try:
+        server = Server(
+            session=session,
+            workers=args.workers,
+            queue_capacity=args.queue_depth,
+            emulate_device=args.emulate_device,
+            tracer=tracer,
+            breaker_threshold=args.breaker_threshold,
+            pool=pool,
+            aging_s=getattr(args, "aging", None),
+        )
+        with server:
+            responses, backpressure_retries = replay(server, trace)
+        report = server.report()
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
 
     if tracer is not None:
         from .obs import write_chrome_trace
@@ -1155,6 +1177,28 @@ def build_parser():
         type=int,
         default=16,
         help="admission-queue capacity before backpressure (default 16)",
+    )
+    serve.add_argument(
+        "--pool",
+        default="thread",
+        choices=("thread", "process"),
+        help="worker backend: in-process threads, or one worker process "
+        "per thread with cross-process compile coalescing (default thread)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="artifact-cache directory shared by worker processes; "
+        "--pool process uses a temporary directory when omitted",
+    )
+    serve.add_argument(
+        "--aging",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="priority aging interval: a queued request gains one "
+        "priority level per SECONDS waited (default off)",
     )
     serve.add_argument(
         "--workloads",

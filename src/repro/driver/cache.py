@@ -21,9 +21,12 @@ import hashlib
 import os
 import pickle
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional
+
+from .lease import Lease
 
 
 def fingerprint(*parts):
@@ -82,6 +85,10 @@ _STAT_FIELDS = (
     "kernel_stores",
     "kernel_disk_hits",
     "kernel_evictions",
+    "lease_acquired",
+    "lease_waited",
+    "lease_reclaimed",
+    "lease_timeouts",
 )
 
 
@@ -112,6 +119,14 @@ class CacheStats:
     kernel_stores: int = 0
     kernel_disk_hits: int = 0
     kernel_evictions: int = 0
+    #: Cross-process single-flight (see :meth:`ArtifactCache.get_or_build`):
+    #: leases this process won (it built), waits that ended with another
+    #: process's artifact, stale leases reclaimed from dead builders, and
+    #: waits that timed out into a defensive local build.
+    lease_acquired: int = 0
+    lease_waited: int = 0
+    lease_reclaimed: int = 0
+    lease_timeouts: int = 0
 
     def __post_init__(self):
         self._lock = threading.Lock()
@@ -308,6 +323,101 @@ class ArtifactCache:
                 pass
             return False
         return True
+
+    # -- cross-process single-flight ----------------------------------------
+
+    def _lease_path(self, key):
+        return self.cache_dir / f"{key}.lease"
+
+    def disk_probe(self, key):
+        """Stats-free existence check for the disk entry of *key*.
+
+        Used as the ``published()`` predicate while waiting on another
+        process's lease — polling must not inflate hit/miss counters.
+        """
+        if self.cache_dir is None:
+            return False
+        try:
+            return self._path(key).exists()
+        except OSError:
+            return False
+
+    def get_or_build(
+        self, key, builder, lease_ttl_s=60.0, wait_timeout_s=120.0, poll_s=0.005
+    ):
+        """Fetch *key*, or run *builder* under a cross-process lease.
+
+        Returns ``(artifact, provenance)`` with provenance one of
+        ``"cache"`` (hit before any coordination), ``"built"`` (this
+        process held the lease and ran *builder*), or ``"coalesced"``
+        (another process built it while we waited on the artifact).
+
+        *builder* is called **without** the cache lock held (it is the
+        full compile pipeline) and is expected to publish its result via
+        :meth:`put` itself (as ``CompilerSession._compile_stages`` does);
+        a builder that does not is published here as a fallback.
+
+        The lease protocol never deadlocks: a crashed holder's lease is
+        reclaimed (pid probe or ttl), and a wait that times out degrades
+        to building locally — the atomic disk publish makes the
+        duplicate build harmless.
+        """
+        artifact = self.get(key)
+        if artifact is not None:
+            return artifact, "cache"
+        if self.cache_dir is None:
+            # No shared tier to coordinate over; plain local build.
+            artifact = builder()
+            self._publish_if_missing(key, artifact)
+            return artifact, "built"
+        lease = Lease(self._lease_path(key), ttl_s=lease_ttl_s)
+        deadline = time.monotonic() + wait_timeout_s
+        while True:
+            if lease.acquire():
+                self.stats.bump(lease_acquired=1)
+                try:
+                    # A sibling may have published while we raced for the
+                    # lease; re-check before paying for the build.
+                    artifact = self.get(key)
+                    if artifact is not None:
+                        return artifact, "coalesced"
+                    artifact = builder()
+                    self._publish_if_missing(key, artifact)
+                    return artifact, "built"
+                finally:
+                    lease.release()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                outcome = "timeout"
+            else:
+                outcome = lease.wait(
+                    lambda: self.disk_probe(key),
+                    timeout_s=remaining,
+                    poll_s=poll_s,
+                )
+            if outcome == "published":
+                artifact = self.get(key)
+                if artifact is not None:
+                    self.stats.bump(lease_waited=1)
+                    return artifact, "coalesced"
+                # Published entry was corrupt/evicted on read: fall
+                # through and race for the lease ourselves.
+            elif outcome == "reclaim":
+                self.stats.bump(lease_reclaimed=1)
+            elif outcome == "timeout":
+                # Never deadlock on a wedged (live but stuck) holder:
+                # duplicate the build; atomic publish keeps it harmless.
+                self.stats.bump(lease_timeouts=1)
+                artifact = builder()
+                self._publish_if_missing(key, artifact)
+                return artifact, "built"
+            # "free" (holder vanished without publishing) loops back to
+            # the acquire race.
+
+    def _publish_if_missing(self, key, artifact):
+        with self._lock:
+            if key not in self._memory:
+                self.put(key, artifact)
 
     # -- execution-plan tier -----------------------------------------------
 

@@ -131,6 +131,7 @@ class CompilerSession:
         diagnostics=None,
         tracer=None,
         fusion=None,
+        cross_process=False,
     ):
         self.accelerators = dict(accelerators or {})
         self.run_pipeline = run_pipeline
@@ -144,6 +145,12 @@ class CompilerSession:
             fusion = FusionConfig()
         self.fusion = fusion
         self.cache = cache or ArtifactCache(cache_dir=cache_dir)
+        #: Cross-process single-flight: when True (and the cache has a
+        #: disk tier), uncached compiles coordinate with sibling
+        #: *processes* sharing the same cache directory through lease
+        #: files (:meth:`ArtifactCache.get_or_build`) — the lease loser
+        #: waits on the published artifact instead of recompiling.
+        self.cross_process = bool(cross_process)
         self.diagnostics = diagnostics or Diagnostics()
         #: Observability spine: stage spans (category ``session``), pass
         #: spans (via the pipeline), and plan spans all land here. The
@@ -156,6 +163,13 @@ class CompilerSession:
             self.cache.diagnostics = self.diagnostics
         self.records: List[StageRecord] = []
         self.compiles = 0
+        #: Plan-build counters scoped to *this* session (the process-global
+        #: PLAN_STATS still advances too). Serving's ``plan_reuse_ok``
+        #: deltas read this, so two concurrent servers — or sibling worker
+        #: processes — never pollute each other's reuse assertion.
+        from ..srdfg.plan import PlanStats
+
+        self.plan_stats = PlanStats()
         #: Compiles/plans that awaited an identical in-flight request.
         self.coalesced = 0
         self._stage_hooks: List[Callable] = []
@@ -382,18 +396,39 @@ class CompilerSession:
                 span.note(provenance="coalesced")
                 return flight.artifact.with_hints(data_hints), "coalesced"
             try:
-                artifact = self._compile_stages(
+                build = lambda: self._compile_stages(
                     source, entry, domain, component_domains, accelerators,
                     pipeline, key,
                 )
+                if self.cross_process and self.cache.cache_dir is not None:
+                    # Coordinate with sibling *processes* through the
+                    # lease file next to the disk entry: the lease loser
+                    # waits on the published artifact, never recompiling.
+                    artifact, provenance = self.cache.get_or_build(key, build)
+                    if provenance != "built":
+                        provenance = "coalesced"
+                else:
+                    artifact = build()
+                    provenance = "built"
                 flight.artifact = artifact
             except BaseException as exc:
                 flight.error = exc
                 raise
             finally:
                 self._end_flight(self._inflight_compiles, key, flight)
-            span.note(provenance="built")
-            return artifact.with_hints(data_hints), "built"
+            if provenance == "coalesced":
+                with self._state_lock:
+                    self.coalesced += 1
+                self._record(
+                    StageRecord(
+                        stage=COALESCED_STAGE,
+                        seconds=time.perf_counter() - start,
+                        cached=True,
+                        detail=f"awaited cross-process compile {key[:12]}",
+                    )
+                )
+            span.note(provenance=provenance)
+            return artifact.with_hints(data_hints), provenance
 
     def _compile_stages(
         self, source, entry, domain, component_domains, accelerators,
@@ -605,6 +640,7 @@ class CompilerSession:
                             config=config,
                             diagnostics=self.diagnostics,
                             tracer=self.tracer,
+                            stats=self.plan_stats,
                         )
                         self.cache.plan_put(key, plan)
                         flight.artifact = plan

@@ -124,11 +124,18 @@ class QueueFullError(ServeError):
     Carries ``retry_after`` (seconds), the server's estimate of when a
     slot frees up (queue depth x recent mean service time / workers), so
     well-behaved clients back off instead of hammering the queue.
+
+    A rejection from a *closed* scheduler sets ``closed=True`` and
+    ``retry_after=None``: there is no point retrying — the server is
+    shutting down, not momentarily busy. (Historically these carried
+    ``retry_after=0.0``, which clients read as "retry immediately" and
+    spun against the shutdown.)
     """
 
-    def __init__(self, message, retry_after=0.0):
+    def __init__(self, message, retry_after=0.0, closed=False):
         super().__init__(message)
-        self.retry_after = retry_after
+        self.closed = closed
+        self.retry_after = None if closed else retry_after
 
 
 class DeadlineExceededError(ServeError):
@@ -155,6 +162,15 @@ class CircuitOpenError(ServeError):
 
 class CancelledError(ServeError):
     """The client cancelled the request before it executed."""
+
+
+class WorkerCrashedError(ServeError):
+    """A worker process died mid-request (process pool only).
+
+    The pool respawns the slot, so subsequent requests are unaffected;
+    the in-flight request is answered with this error instead of
+    hanging, and the crash is counted in ``worker_crashes``.
+    """
 
 
 class RuntimeFailure(PolyMathError):

@@ -17,11 +17,15 @@ from ..errors import (
     QueueFullError,
     ServeError,
     ShapeError,
+    WorkerCrashedError,
 )
+from .aio import AsyncFrontend
 from .breaker import BreakerBoard, CircuitBreaker
-from .loadgen import DEFAULT_MIX, replay, run_serial, synth_trace
+from .executor import LocalExecutor
+from .loadgen import DEFAULT_MIX, replay, run_serial, saturate, synth_trace
 from .metrics import RequestMetrics, ServeReport, percentile
 from .pool import WorkerPool
+from .procpool import ProcessWorkerSet
 from .session import Session
 from .request import (
     PRIORITY_HIGH,
@@ -35,15 +39,18 @@ from .scheduler import Scheduler
 from .server import Server, Ticket
 
 __all__ = [
+    "AsyncFrontend",
     "BreakerBoard",
     "CancelledError",
     "CircuitBreaker",
     "CircuitOpenError",
     "DEFAULT_MIX",
     "DeadlineExceededError",
+    "LocalExecutor",
     "PRIORITY_HIGH",
     "PRIORITY_LOW",
     "PRIORITY_NORMAL",
+    "ProcessWorkerSet",
     "QueueFullError",
     "Request",
     "RequestMetrics",
@@ -55,10 +62,12 @@ __all__ = [
     "Session",
     "ShapeError",
     "Ticket",
+    "WorkerCrashedError",
     "WorkerPool",
     "percentile",
     "replay",
     "result_signature",
     "run_serial",
+    "saturate",
     "synth_trace",
 ]

@@ -1,0 +1,90 @@
+"""Asyncio admission frontend over a running :class:`Server`.
+
+The server's scheduler, deadline, priority, and breaker semantics are
+untouched — this layer only changes how a *client* waits. Instead of one
+blocked thread per in-flight request (``ticket.wait``), an event-loop
+coroutine awaits a future that the worker thread resolves through
+``Ticket.add_done_callback`` + ``loop.call_soon_threadsafe``. That is
+what makes a sustained 10k-request saturation run cheap: tens of
+thousands of in-flight awaits cost coroutines, not threads.
+
+Backpressure maps onto awaits the same way ``loadgen.replay`` maps it
+onto sleeps: a :class:`~repro.errors.QueueFullError` with a
+``retry_after`` hint is awaited out and resubmitted; a *closed*
+rejection (``retry_after=None``) propagates — retrying a shutdown is
+the client spin this layer exists to avoid. An optional semaphore bounds
+admissions-in-flight so a fast generator cannot bury the queue in
+rejections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..errors import QueueFullError
+
+__all__ = ["AsyncFrontend"]
+
+
+class AsyncFrontend:
+    """Awaitable request interface over a started server."""
+
+    def __init__(self, server, max_inflight=256):
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self.server = server
+        self._max_inflight = max_inflight
+        self._semaphore = None
+
+    def _gate(self):
+        # Created lazily so the frontend binds to the loop it runs on.
+        if self._semaphore is None:
+            self._semaphore = asyncio.Semaphore(self._max_inflight)
+        return self._semaphore
+
+    async def submit(self, request):
+        """Admit *request*, awaiting out backpressure; returns the Ticket.
+
+        Admission errors keep their synchronous semantics:
+        ``CircuitOpenError``, ``DeadlineExceededError``, ``ShapeError``
+        and *closed* ``QueueFullError`` rejections raise to the caller.
+        """
+        while True:
+            try:
+                return self.server.submit(request)
+            except QueueFullError as exc:
+                if exc.closed or exc.retry_after is None:
+                    raise
+                await asyncio.sleep(max(exc.retry_after, 0.001))
+
+    async def request(self, request):
+        """Submit and await the :class:`~repro.serve.request.Response`."""
+        async with self._gate():
+            ticket = await self.submit(request)
+            loop = asyncio.get_running_loop()
+            future = loop.create_future()
+
+            def _resolve(done_ticket):
+                def _set():
+                    if not future.cancelled():
+                        future.set_result(done_ticket.response)
+
+                loop.call_soon_threadsafe(_set)
+
+            ticket.add_done_callback(_resolve)
+            return await future
+
+    async def gather(self, requests, return_exceptions=True):
+        """Drive many requests concurrently; responses in input order.
+
+        Admission rejections (breaker, deadline, closed queue) come back
+        as exception objects in the result list when
+        *return_exceptions* is true — exactly one slot per request, so
+        the caller can line results up against the trace.
+        """
+        return await asyncio.gather(
+            *(self.request(request) for request in requests),
+            return_exceptions=return_exceptions,
+        )

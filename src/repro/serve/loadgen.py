@@ -97,6 +97,11 @@ def replay(server, trace, retry=True, timeout=120.0):
     times out is abandoned (so the :class:`ServeReport` counts it as
     ``timed_out``, not silently dropped) and yields a None slot — unless
     the response landed in the race window, in which case it is used.
+
+    A *closed* rejection (``exc.closed`` / ``retry_after=None``) is
+    never retried even with ``retry=True``: the server is shutting
+    down, and this request — plus everything after it in the trace —
+    yields a None slot instead of spinning against the shutdown.
     """
     tickets = []
     backpressure_retries = 0
@@ -106,7 +111,7 @@ def replay(server, trace, retry=True, timeout=120.0):
                 tickets.append(server.submit(request))
                 break
             except QueueFullError as exc:
-                if not retry:
+                if exc.closed or exc.retry_after is None or not retry:
                     tickets.append(None)
                     break
                 backpressure_retries += 1
@@ -157,3 +162,57 @@ def run_serial(
         for request in trace:
             responses.append(server.request(request, timeout=timeout))
     return responses, server.report()
+
+
+def saturate(
+    server,
+    requests=10_000,
+    workload="MobileRobot",
+    precision="f64",
+    steps=1,
+    max_inflight=256,
+):
+    """Sustained saturation: pump *requests* single-config requests
+    through the asyncio admission frontend with bounded in-flight.
+
+    One hot config on purpose — after the first request compiles and
+    plans, the run measures the serving layer itself (admission,
+    scheduling, dispatch, counter bookkeeping), not the compiler. The
+    frontend awaits out backpressure instead of sleeping a thread per
+    rejection, which is what makes six-figure request counts practical.
+
+    Returns a summary dict (completed/errors/throughput/signatures);
+    signatures collapse to one entry when every response was
+    bit-identical, which the saturation test asserts.
+    """
+    import asyncio
+
+    from .aio import AsyncFrontend
+
+    trace = [
+        Request(workload=workload, steps=steps, precision=precision)
+        for _ in range(requests)
+    ]
+    frontend = AsyncFrontend(server, max_inflight=max_inflight)
+    start = time.perf_counter()
+    responses = asyncio.run(frontend.gather(trace))
+    wall = time.perf_counter() - start
+    completed = sum(
+        1
+        for response in responses
+        if not isinstance(response, BaseException) and response.ok
+    )
+    errors = len(responses) - completed
+    signatures = {
+        response.signature
+        for response in responses
+        if not isinstance(response, BaseException) and response.ok
+    }
+    return {
+        "requests": requests,
+        "completed": completed,
+        "errors": errors,
+        "wall_seconds": wall,
+        "throughput_rps": completed / wall if wall > 0 else 0.0,
+        "signatures": sorted(signatures),
+    }

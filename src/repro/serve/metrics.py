@@ -93,6 +93,13 @@ class ServeReport:
     """Aggregate view of one serving run."""
 
     workers: int = 0
+    #: "thread" or "process": which pool backend ran the request bodies.
+    pool: str = "thread"
+    #: Worker processes that reported their counters back at retirement
+    #: (process mode; 0 in thread mode).
+    processes: int = 0
+    #: Worker processes that died mid-request and were respawned.
+    worker_crashes: int = 0
     queue_capacity: int = 0
     wall_seconds: float = 0.0
     submitted: int = 0
@@ -203,6 +210,9 @@ class ServeReport:
     def to_dict(self):
         return {
             "workers": self.workers,
+            "pool": self.pool,
+            "processes": self.processes,
+            "worker_crashes": self.worker_crashes,
             "queue_capacity": self.queue_capacity,
             "wall_seconds": self.wall_seconds,
             "submitted": self.submitted,
@@ -249,9 +259,14 @@ class ServeReport:
         lines = [
             f"serve report: {self.completed} completed, {self.failed} "
             f"failed, {self.rejected} rejected "
-            f"({self.workers} worker(s), queue capacity "
+            f"({self.workers} {self.pool} worker(s), queue capacity "
             f"{self.queue_capacity}, peak depth {self.queue_peak})"
         ]
+        if self.pool == "process":
+            lines.append(
+                f"  processes: {self.processes} reported counters, "
+                f"{self.worker_crashes} crash(es) respawned"
+            )
         if self.expired or self.cancelled or self.breaker_rejected or self.timed_out:
             lines.append(
                 f"  resilience: {self.expired} expired, {self.cancelled} "

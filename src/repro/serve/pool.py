@@ -19,13 +19,18 @@ import traceback
 class WorkerPool:
     """N workers looping ``scheduler.next() -> handler(entry)``."""
 
-    def __init__(self, scheduler, handler, workers=4, name="serve"):
+    def __init__(self, scheduler, handler, workers=4, name="serve",
+                 diagnostics=None):
         if workers < 1:
             raise ValueError(f"worker pool needs >= 1 worker, got {workers}")
         self.scheduler = scheduler
         self.handler = handler
         self.workers = workers
         self.name = name
+        #: Optional :class:`~repro.driver.diagnostics.Diagnostics` sink:
+        #: handler-fault tracebacks land here (stage ``pool``) instead of
+        #: being printed to a stderr nobody is watching.
+        self.diagnostics = diagnostics
         self._threads = []
         self._started = False
         #: Handler invocations that raised (the handler is expected to
@@ -41,12 +46,41 @@ class WorkerPool:
                 return
             try:
                 self.handler(entry, f"{self.name}-{index}")
-            except BaseException:
+            except (KeyboardInterrupt, SystemExit):
+                # Exit signals are not handler faults: swallowing them
+                # here would make the pool unkillable (and miscount the
+                # interrupt as a bug in the handler). Let them take the
+                # worker down.
+                raise
+            except Exception:
                 # A crashing request must not poison the pool: count it,
                 # keep the worker alive for the next request.
                 with self._fault_lock:
                     self.handler_faults += 1
-                traceback.print_exc()
+                self._report_fault(index)
+
+    def _report_fault(self, index):
+        """Route a handler traceback somewhere it will be seen.
+
+        Prefers the wired diagnostics stream; falls back to
+        ``traceback.print_exc`` guarded against the errors *it* can raise
+        when a daemon thread faults during interpreter shutdown (stderr
+        already closed / import machinery torn down).
+        """
+        if self.diagnostics is not None:
+            try:
+                self.diagnostics.warning(
+                    f"handler fault in worker {self.name}-{index}:\n"
+                    f"{traceback.format_exc()}",
+                    stage="pool",
+                )
+                return
+            except Exception:
+                pass
+        try:
+            traceback.print_exc()
+        except Exception:
+            pass
 
     def start(self):
         if self._started:

@@ -1,0 +1,347 @@
+"""Process-backed execution behind the thread pool's drainer surface.
+
+The thread :class:`~repro.serve.pool.WorkerPool` stays exactly where it
+was — draining the priority scheduler, running the server's admission,
+deadline, and classification logic — but in process mode each worker
+thread proxies the request body to a dedicated worker *process* over a
+pipe. Each child owns a fresh
+:class:`~repro.driver.CompilerSession` with ``cross_process=True``,
+warmed from the shared disk cache tier: the first child to compile a
+config publishes the artifact (holding the lease file), siblings wait on
+the artifact instead of recompiling, and plans — memory-only by design —
+rebuild once per process from the shared compiled artifact.
+
+Envelopes are plain pickles: ``("request", (Request, remaining_s))``
+out, a flat result dict back. Deadlines ship as *remaining seconds*
+because ``perf_counter`` values are not comparable across processes.
+
+A crashed child (its pipe breaks mid-request) is respawned and the
+in-flight request answered with ``WorkerCrashedError`` — the pool heals,
+the request fails loudly, and ``worker_crashes`` counts it. At
+retirement every child sends back its counter payload
+(:meth:`~repro.serve.executor.LocalExecutor.stats_payload`) so the
+parent folds per-process plan/cache/codegen counters into one truthful
+``ServeReport``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+
+__all__ = ["ProcessWorkerSet", "child_main"]
+
+
+def child_main(conn, config):
+    """Worker-process entry: serve envelopes from *conn* until stopped."""
+    from ..driver import CompilerSession
+    from ..errors import DeadlineExceededError, PolyMathError
+    from .executor import LocalExecutor
+
+    session = CompilerSession(
+        cache_dir=config.get("cache_dir"), cross_process=True
+    )
+    executor = LocalExecutor(
+        session,
+        emulate_device=config.get("emulate_device", 0.0),
+        codegen=config.get("codegen", False),
+        bucket_policy=config.get("bucket_policy", "exact"),
+    )
+    while True:
+        try:
+            kind, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        if kind == "stop":
+            try:
+                conn.send(("stats", executor.stats_payload()))
+            except (OSError, ValueError):
+                pass
+            break
+        if kind == "stats":
+            conn.send(("stats", executor.stats_payload()))
+            continue
+        request, remaining_s = payload
+        deadline_at = (
+            time.perf_counter() + remaining_s
+            if remaining_s is not None
+            else None
+        )
+
+        def guard():
+            if (
+                deadline_at is not None
+                and time.perf_counter() >= deadline_at
+            ):
+                raise DeadlineExceededError(
+                    f"request {request.request_id} deadline "
+                    f"({request.deadline_s:g}s) expired after compile/plan; "
+                    "refusing to execute"
+                )
+
+        result = {
+            "outputs": None, "state": None, "signature": "",
+            "error": None, "error_kind": None,
+            "compile_seconds": 0.0, "plan_seconds": 0.0,
+            "execute_seconds": 0.0,
+            "compile_provenance": "", "plan_provenance": "",
+            "kernel_provenance": "",
+        }
+        metrics = _Segments()
+        response = _Body()
+        try:
+            workload = specialization = None
+            if request.dims:
+                workload, specialization = executor.resolve(
+                    request.workload, request.dims, request.precision
+                )
+            executor.serve(
+                request, metrics, response,
+                workload=workload, specialization=specialization,
+                guard=guard,
+            )
+            result["outputs"] = response.outputs
+            result["state"] = response.state
+            result["signature"] = response.signature
+        except PolyMathError as exc:
+            result["error"] = str(exc)
+            result["error_kind"] = type(exc).__name__
+        except Exception as exc:  # defensive: never take the child down
+            result["error"] = str(exc)
+            result["error_kind"] = type(exc).__name__
+        result["compile_seconds"] = metrics.compile_seconds
+        result["plan_seconds"] = metrics.plan_seconds
+        result["execute_seconds"] = metrics.execute_seconds
+        result["compile_provenance"] = metrics.compile_provenance
+        result["plan_provenance"] = metrics.plan_provenance
+        result["kernel_provenance"] = metrics.kernel_provenance
+        try:
+            conn.send(("response", result))
+        except Exception as exc:
+            # Unpicklable outputs must not wedge the parent's recv.
+            conn.send(("response", {
+                **{k: v for k, v in result.items()
+                   if k not in ("outputs", "state")},
+                "outputs": None, "state": None,
+                "error": f"response not picklable: {exc}",
+                "error_kind": "SerializationError",
+            }))
+    conn.close()
+
+
+class _Segments:
+    """Duck-typed stand-in for RequestMetrics inside the child."""
+
+    def __init__(self):
+        self.compile_seconds = 0.0
+        self.plan_seconds = 0.0
+        self.execute_seconds = 0.0
+        self.compile_provenance = ""
+        self.plan_provenance = ""
+        self.kernel_provenance = ""
+
+
+class _Body:
+    """Duck-typed stand-in for Response inside the child."""
+
+    def __init__(self):
+        self.outputs = None
+        self.state = None
+        self.signature = ""
+
+
+class _Member:
+    __slots__ = ("process", "conn", "lock")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.lock = threading.Lock()
+
+
+def _zero_aggregate():
+    return {
+        "plans_built": 0,
+        "statements_planned": 0,
+        "expected_plans": 0,
+        "expected_statements": 0,
+        "distinct_configs": set(),
+        "compiles": 0,
+        "coalesced": 0,
+        "cache": {},
+        "codegen": {},
+        "processes_reported": 0,
+    }
+
+
+class ProcessWorkerSet:
+    """One bound worker process per pool worker thread."""
+
+    def __init__(self, workers, config, name="serve"):
+        self.workers = workers
+        self.config = dict(config)
+        self.name = name
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            self._ctx = multiprocessing.get_context("spawn")
+        self._members = {}
+        self._members_lock = threading.Lock()
+        self._started = False
+        self.worker_crashes = 0
+        #: Counter payloads folded in from retired/probed children.
+        self.aggregated = _zero_aggregate()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _spawn(self, worker_name):
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=child_main,
+            args=(child_conn, self.config),
+            name=f"{worker_name}-proc",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Member(process, parent_conn)
+
+    def start(self):
+        """Fork the worker set. Call BEFORE the drainer threads start —
+        forking a single-threaded parent sidesteps every inherited-lock
+        hazard."""
+        if self._started:
+            return self
+        self._started = True
+        for index in range(self.workers):
+            worker_name = f"{self.name}-{index}"
+            self._members[worker_name] = self._spawn(worker_name)
+        return self
+
+    def _member(self, worker_name):
+        with self._members_lock:
+            member = self._members.get(worker_name)
+            if member is None:
+                member = self._spawn(worker_name)
+                self._members[worker_name] = member
+            return member
+
+    def _crashed(self, worker_name, member):
+        """Retire a dead child and heal the slot with a fresh fork."""
+        try:
+            member.conn.close()
+        except OSError:
+            pass
+        member.process.join(timeout=1.0)
+        with self._members_lock:
+            self.worker_crashes += 1
+            if self._members.get(worker_name) is member:
+                self._members[worker_name] = self._spawn(worker_name)
+
+    # -- request proxying ---------------------------------------------------
+
+    def dispatch(self, worker_name, request, remaining_s=None):
+        """Run *request* on the worker bound to *worker_name*.
+
+        Returns the child's result dict, or None when the child crashed
+        mid-request (the slot is respawned; the caller answers the
+        request with ``WorkerCrashedError``).
+        """
+        member = self._member(worker_name)
+        with member.lock:
+            try:
+                member.conn.send(("request", (request, remaining_s)))
+                kind, payload = member.conn.recv()
+            except (EOFError, OSError, BrokenPipeError):
+                self._crashed(worker_name, member)
+                return None
+        if kind != "response":  # protocol violation == crash
+            self._crashed(worker_name, member)
+            return None
+        return payload
+
+    # -- counter aggregation ------------------------------------------------
+
+    def _fold(self, payload):
+        agg = self.aggregated
+        plan = payload.get("plan", {})
+        agg["plans_built"] += plan.get("graphs_planned", 0)
+        agg["statements_planned"] += plan.get("statements_planned", 0)
+        agg["expected_plans"] += payload.get("expected_plans", 0)
+        agg["expected_statements"] += payload.get("expected_statements", 0)
+        agg["distinct_configs"].update(
+            tuple(config) if isinstance(config, list) else config
+            for config in payload.get("distinct_configs", ())
+        )
+        agg["compiles"] += payload.get("compiles", 0)
+        agg["coalesced"] += payload.get("coalesced", 0)
+        for source in ("cache", "codegen"):
+            for field_name, value in payload.get(source, {}).items():
+                if isinstance(value, (int, float)):
+                    agg[source][field_name] = (
+                        agg[source].get(field_name, 0) + value
+                    )
+        agg["processes_reported"] += 1
+
+    def stop(self, timeout=5.0):
+        """Retire every child, folding its counter payload; returns the
+        aggregate dict (also kept on ``self.aggregated``)."""
+        with self._members_lock:
+            members = dict(self._members)
+            self._members = {}
+        deadline = time.monotonic() + timeout
+        for member in members.values():
+            with member.lock:
+                try:
+                    member.conn.send(("stop", None))
+                    if member.conn.poll(max(0.1, deadline - time.monotonic())):
+                        kind, payload = member.conn.recv()
+                        if kind == "stats":
+                            self._fold(payload)
+                except (EOFError, OSError, BrokenPipeError):
+                    pass
+                try:
+                    member.conn.close()
+                except OSError:
+                    pass
+        for member in members.values():
+            member.process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if member.process.is_alive():
+                member.process.terminate()
+                member.process.join(timeout=1.0)
+        return self.aggregated
+
+    @property
+    def alive(self):
+        with self._members_lock:
+            return sum(
+                1 for member in self._members.values()
+                if member.process.is_alive()
+            )
+
+    def counters(self):
+        """MetricsRegistry source: pool health + folded child counters."""
+        agg = self.aggregated
+        with self._members_lock:
+            alive = sum(
+                1 for member in self._members.values()
+                if member.process.is_alive()
+            )
+            crashes = self.worker_crashes
+        return {
+            "processes": self.workers,
+            "alive": alive,
+            "worker_crashes": crashes,
+            "processes_reported": agg["processes_reported"],
+            "child_plans_built": agg["plans_built"],
+            "child_compiles": agg["compiles"],
+            "child_coalesced": agg["coalesced"],
+            "child_cache_lease_acquired": agg["cache"].get(
+                "lease_acquired", 0
+            ),
+            "child_cache_lease_waited": agg["cache"].get("lease_waited", 0),
+            "child_cache_lease_reclaimed": agg["cache"].get(
+                "lease_reclaimed", 0
+            ),
+        }

@@ -36,8 +36,6 @@ import time
 from collections import deque
 from typing import Dict, List
 
-import numpy as np
-
 from ..driver import BucketPolicy, CompilerSession, SpecializationKey
 from ..errors import (
     CancelledError,
@@ -46,14 +44,16 @@ from ..errors import (
     PolyMathError,
     QueueFullError,
     ShapeError,
+    WorkerCrashedError,
 )
 from ..obs import MetricsRegistry, NULL_TRACER
 from ..srdfg.plan import PLAN_STATS
 from ..targets import default_accelerators
-from ..workloads import get_workload
 from .breaker import BreakerBoard
+from .executor import LocalExecutor
 from .metrics import RequestMetrics, ServeReport
 from .pool import WorkerPool
+from .procpool import ProcessWorkerSet
 from .request import PRIORITY_NORMAL, Request, Response, result_signature
 from .scheduler import Scheduler
 
@@ -66,7 +66,8 @@ class Ticket:
     __slots__ = (
         "request", "metrics", "response", "deadline_at",
         "session", "step_inputs", "workload", "specialization",
-        "_event", "_cancelled", "_abandoned",
+        "_event", "_cancelled", "_abandoned", "_callbacks",
+        "_callback_lock",
     )
 
     def __init__(self, request, metrics):
@@ -90,10 +91,35 @@ class Ticket:
         self._event = threading.Event()
         self._cancelled = False
         self._abandoned = False
+        self._callbacks = []
+        self._callback_lock = threading.Lock()
 
     def _finish(self, response):
         self.response = response
         self._event.set()
+        with self._callback_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            try:
+                callback(self)
+            except Exception:
+                # A broken observer must not break the worker finishing
+                # the request (or the other observers).
+                pass
+
+    def add_done_callback(self, callback):
+        """Call ``callback(ticket)`` when the response lands.
+
+        Fires immediately when the ticket is already done. This is what
+        lets an asyncio admission layer bridge worker-thread completion
+        into its event loop (``loop.call_soon_threadsafe``) without
+        burning a thread per in-flight request on ``wait``.
+        """
+        with self._callback_lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
 
     def done(self):
         return self._event.is_set()
@@ -168,7 +194,13 @@ class Server:
         breaker_cooldown_s=0.25,
         bucket_policy="exact",
         codegen=False,
+        pool="thread",
+        aging_s=None,
     ):
+        if pool not in ("thread", "process"):
+            raise ValueError(
+                f"pool must be 'thread' or 'process', got {pool!r}"
+            )
         #: One tracer spans the whole request lifecycle: serve-level
         #: request/queue-wait spans here, session/pass/plan spans through
         #: the CompilerSession, and runtime instants through HostManager.
@@ -180,10 +212,11 @@ class Server:
             # tracer through unless the session already has its own.
             session.tracer = self.tracer
         self.session = session
-        self.scheduler = Scheduler(capacity=queue_capacity)
+        self.scheduler = Scheduler(capacity=queue_capacity, aging_s=aging_s)
         self.scheduler.retry_after_estimator = self._retry_after
         self.pool = WorkerPool(
-            self.scheduler, self._handle, workers=workers, name="serve"
+            self.scheduler, self._handle, workers=workers, name="serve",
+            diagnostics=self.session.diagnostics,
         )
         self.workers = workers
         #: Seconds of emulated accelerator occupancy per modelled device
@@ -201,18 +234,41 @@ class Server:
         #: tier) — requests record "kernel" provenance when their plan
         #: carries one; declined builds fall back to interpretation.
         self.codegen = codegen
+        #: The in-process compile-plan-execute body. Thread mode runs
+        #: every request through it; process mode keeps it for session
+        #: steps (whose retained numpy state cannot cross a pipe) and
+        #: for admission-time shape resolution.
+        self.executor = LocalExecutor(
+            session=self.session,
+            emulate_device=emulate_device,
+            codegen=codegen,
+            bucket_policy=self.bucket_policy,
+            tracer=self.tracer,
+        )
+        #: "thread" or "process": which backend runs the request body.
+        self.pool_mode = pool
+        self.procs = None
+        if pool == "process":
+            self.procs = ProcessWorkerSet(
+                workers,
+                config={
+                    "cache_dir": (
+                        str(self.session.cache.cache_dir)
+                        if self.session.cache.cache_dir is not None
+                        else None
+                    ),
+                    "emulate_device": emulate_device,
+                    "codegen": codegen,
+                    "bucket_policy": bucket_policy,
+                },
+                name="serve",
+            )
 
         self._lock = threading.Lock()
         self._outstanding = 0
         self._drained = threading.Condition(self._lock)
-        #: Resolved workload instances keyed by (name, bucketed dims key)
-        #: — the base instance lives under (name, ()).
-        self._workloads: Dict[tuple, object] = {}
-        self._device_seconds: Dict[tuple, float] = {}
         self._recent_service = deque(maxlen=64)
         self._tickets: List[Ticket] = []
-        self._distinct_configs = set()
-        self._built_plans: List[object] = []
         self._submitted = 0
         self._completed = 0
         self._failed = 0
@@ -229,13 +285,28 @@ class Server:
         self._session_steps = 0
         self._started_at = None
         self._stopped_at = None
-        self._stats_base = PLAN_STATS.snapshot()
+        # Plan-reuse deltas are scoped to *this* server's session (not the
+        # process-global PLAN_STATS), so two concurrent servers — or the
+        # process pool's sibling workers — never pollute each other's
+        # ``plan_reuse_ok`` assertion. Process mode folds the per-child
+        # deltas in explicitly (see ``_aggregate_child_stats``).
+        self._stats_base = self.session.plan_stats.snapshot()
+        #: Plan/statement build counts reported back by retired or crashed
+        #: worker processes (process pool only), folded into report().
+        self._child_plans_built = 0
+        self._child_statements_planned = 0
+        self._child_expected_plans = 0
+        self._child_expected_statements = 0
 
     # -- lifecycle ---------------------------------------------------------
 
     def start(self):
         if self._started_at is None:
             self._started_at = time.perf_counter()
+        if self.procs is not None:
+            # Fork the worker processes before any drainer thread exists:
+            # a single-threaded fork cannot inherit a held lock.
+            self.procs.start()
         self.pool.start()
         return self
 
@@ -244,6 +315,22 @@ class Server:
         self.scheduler.close()
         if self._started_at is not None:
             self.pool.join()
+        if self.procs is not None:
+            # Retire the children and fold their per-process counters
+            # (plan builds, cache/lease stats, distinct configs) into
+            # this server's report view.
+            aggregate = self.procs.stop()
+            with self._lock:
+                self._child_plans_built += aggregate["plans_built"]
+                self._child_statements_planned += aggregate[
+                    "statements_planned"
+                ]
+                self._child_expected_plans += aggregate["expected_plans"]
+                self._child_expected_statements += aggregate[
+                    "expected_statements"
+                ]
+            for config in aggregate["distinct_configs"]:
+                self.executor.note_planned(config, None, "aggregated")
         self._stopped_at = time.perf_counter()
         return self
 
@@ -449,64 +536,21 @@ class Server:
         return max(0.001, depth * mean / max(1, self.workers))
 
     # -- the worker body ---------------------------------------------------
+    # (the compile/plan/execute core lives in LocalExecutor, shared with
+    # the process pool's worker children; these delegates keep the
+    # server's historical surface)
 
     def _workload(self, name):
-        with self._lock:
-            instance = self._workloads.get((name, ()))
-            if instance is None:
-                instance = get_workload(name)
-                self._workloads[(name, ())] = instance
-            return instance
+        return self.executor.workload(name)
 
     def _resolve(self, name, dims=None, precision="f64"):
-        """Workload instance + SpecializationKey for a (name, dims) pair.
-
-        Without *dims* this is the base instance and no specialization
-        (the legacy static-shape path, byte-for-byte unchanged). With
-        *dims*, the overrides are validated against the workload's
-        declared ``symbolic_dims``, rounded up by the server's bucket
-        policy, and the specialized instance is cached per bucket — so
-        every request landing in one bucket shares one workload, one
-        compiled app, and one plan.
-        """
-        base = self._workload(name)
-        if not dims:
-            return base, None
-        dims = dict(dims)
-        # Names/positivity check on the raw request; structural
-        # constraints (pow2 FFT, blocked DCT) are checked on the
-        # *bucketed* dims by with_dims, since rounding may be exactly
-        # what makes them satisfiable.
-        type(base).validate_dim_names(dims)
-        bucketed = self.bucket_policy.bucket(base.shape_binding().merge(dims))
-        key = (name, bucketed.key())
-        with self._lock:
-            workload = self._workloads.get(key)
-        if workload is None:
-            workload = base.with_dims(**bucketed.as_dict())
-            with self._lock:
-                workload = self._workloads.setdefault(key, workload)
-        spec = SpecializationKey(
-            template=name, binding=bucketed, config_key=(precision,)
-        )
-        return workload, spec
+        """Workload instance + SpecializationKey for a (name, dims) pair
+        (see :meth:`LocalExecutor.resolve`)."""
+        return self.executor.resolve(name, dims=dims, precision=precision)
 
     def _modeled_device_seconds(self, request, app):
         """Cost-model accelerator seconds for one invocation of *app*."""
-        key = request.config_key()
-        with self._lock:
-            cached = self._device_seconds.get(key)
-        if cached is not None:
-            return cached
-        total = 0.0
-        for domain, program in app.programs.items():
-            accelerator = app.accelerators.get(domain)
-            if accelerator is None:
-                continue
-            total += accelerator.estimate(program).seconds
-        with self._lock:
-            self._device_seconds[key] = total
-        return total
+        return self.executor.modeled_device_seconds(request, app)
 
     def _handle(self, ticket, worker_name):
         request = ticket.request
@@ -610,72 +654,67 @@ class Server:
 
     def _serve_one(self, request, metrics, response, ticket=None):
         if ticket is not None and ticket.session is not None:
+            # Session steps always run in-parent, even in process mode:
+            # the session's retained numpy state and pinned plan live
+            # here, and shipping state across a pipe every step would
+            # cost more than it buys.
             return self._serve_session_step(request, metrics, response, ticket)
-        workload = (
-            ticket.workload
-            if ticket is not None and ticket.workload is not None
-            else self._workload(request.workload)
-        )
+        if self.procs is not None:
+            return self._serve_one_remote(request, metrics, response, ticket)
+        workload = ticket.workload if ticket is not None else None
         specialization = ticket.specialization if ticket is not None else None
-        accelerators = default_accelerators(
-            getattr(workload, "accelerator_overrides", None)
+
+        def guard():
+            # The last line of deadline defence: compile/plan may have
+            # eaten the budget. Past this point the request really
+            # executes.
+            if ticket is not None and ticket.expired():
+                raise DeadlineExceededError(
+                    f"request {request.request_id} deadline "
+                    f"({request.deadline_s:g}s) expired after compile/plan; "
+                    "refusing to execute"
+                )
+            if ticket is not None and ticket.cancelled:
+                raise CancelledError(
+                    f"request {request.request_id} cancelled before execution"
+                )
+
+        self.executor.serve(
+            request, metrics, response,
+            workload=workload, specialization=specialization, guard=guard,
         )
 
-        start = time.perf_counter()
-        app, compile_provenance = self.session.compile_traced(
-            workload.source(),
-            domain=workload.domain,
-            component_domains=getattr(workload, "component_domains", None),
-            accelerators=accelerators,
-            data_hints=workload.hints(),
-        )
-        metrics.compile_seconds = time.perf_counter() - start
-        metrics.compile_provenance = compile_provenance
+    def _serve_one_remote(self, request, metrics, response, ticket):
+        """Proxy one request to this worker's bound child process.
 
-        start = time.perf_counter()
-        plan, plan_provenance = self.session.plan_for_traced(
-            app, precision=request.precision, specialization=specialization,
-            codegen=self.codegen,
-        )
-        metrics.plan_seconds = time.perf_counter() - start
-        metrics.plan_provenance = plan_provenance
-        metrics.kernel_provenance = (
-            "kernel" if plan.kernel is not None else ""
-        )
-        with self._lock:
-            self._distinct_configs.add(request.config_key())
-            if plan_provenance == "built" and plan not in self._built_plans:
-                self._built_plans.append(plan)
-
-        device_seconds = 0.0
-        if self.emulate_device > 0:
-            device_seconds = (
-                self._modeled_device_seconds(request, app) * self.emulate_device
+        The envelope carries the *remaining* deadline budget in seconds
+        (``perf_counter`` values are not comparable across processes);
+        the child re-arms its own post-compile deadline guard from it.
+        A child that dies mid-request is respawned by the worker set and
+        the request answered with ``WorkerCrashedError``.
+        """
+        remaining_s = None
+        if ticket is not None and ticket.deadline_at is not None:
+            remaining_s = ticket.deadline_at - time.perf_counter()
+        payload = self.procs.dispatch(metrics.worker, request, remaining_s)
+        if payload is None:
+            raise WorkerCrashedError(
+                f"worker process for {metrics.worker} died serving request "
+                f"{request.request_id}; slot respawned"
             )
-
-        # The last line of deadline defence: compile/plan may have eaten
-        # the budget. Past this point the request really executes.
-        if ticket is not None and ticket.expired():
-            raise DeadlineExceededError(
-                f"request {request.request_id} deadline "
-                f"({request.deadline_s:g}s) expired after compile/plan; "
-                "refusing to execute"
-            )
-        if ticket is not None and ticket.cancelled:
-            raise CancelledError(
-                f"request {request.request_id} cancelled before execution"
-            )
-
-        start = time.perf_counter()
-        if request.inject:
-            result = self._execute_with_faults(request, workload, app)
-        else:
-            result = self._execute_plan(request, workload, plan, device_seconds)
-        metrics.execute_seconds = time.perf_counter() - start
-
-        response.outputs = dict(result.outputs)
-        response.state = dict(result.state)
-        response.signature = result_signature(result.outputs)
+        metrics.compile_seconds = payload["compile_seconds"]
+        metrics.plan_seconds = payload["plan_seconds"]
+        metrics.execute_seconds = payload["execute_seconds"]
+        metrics.compile_provenance = payload["compile_provenance"]
+        metrics.plan_provenance = payload["plan_provenance"]
+        metrics.kernel_provenance = payload["kernel_provenance"]
+        if payload["error_kind"]:
+            response.error = payload["error"]
+            response.error_kind = payload["error_kind"]
+            return
+        response.outputs = dict(payload["outputs"] or {})
+        response.state = dict(payload["state"] or {})
+        response.signature = payload["signature"]
 
     def _serve_session_step(self, request, metrics, response, ticket):
         """One step of a stateful session.
@@ -712,10 +751,9 @@ class Server:
             )
             metrics.plan_seconds = time.perf_counter() - start
             metrics.plan_provenance = plan_provenance
-            with self._lock:
-                self._distinct_configs.add(request.config_key())
-                if plan_provenance == "built" and plan not in self._built_plans:
-                    self._built_plans.append(plan)
+            self.executor.note_planned(
+                request.config_key(), plan, plan_provenance
+            )
             sess.pin(app, plan, workload.params(), plan_provenance)
         else:
             metrics.compile_provenance = "session"
@@ -766,75 +804,14 @@ class Server:
         response.signature = result_signature(result.outputs)
 
     def _execute_plan(self, request, workload, plan, device_seconds):
-        """N plan invocations threading state, emulating device occupancy.
-
-        ``request.initial_state`` (shape-checked at admission) seeds the
-        state thread, and ``request.step_offset`` shifts the invocation
-        indices — together they let a chain of one-shot requests replay a
-        stateful trajectory step by step, which is the bit-identity
-        reference for sessions.
-        """
-        state = {
-            key: np.asarray(value)
-            for key, value in (
-                request.initial_state or workload.initial_state()
-            ).items()
-        }
-        params = workload.params()
-        previous = None
-        result = None
-        for step in range(request.steps):
-            result = plan.execute(
-                inputs=workload.inputs(request.step_offset + step, previous),
-                params=params,
-                state=state,
-                tracer=self.tracer,
-            )
-            state = result.state
-            previous = result
-            if device_seconds > 0:
-                # The host thread blocks while the (emulated) accelerator
-                # runs — exactly when a thread pool buys throughput.
-                time.sleep(device_seconds)
-        return result
+        """Delegate (see :meth:`LocalExecutor.execute_plan`)."""
+        return self.executor.execute_plan(
+            request, workload, plan, device_seconds
+        )
 
     def _execute_with_faults(self, request, workload, app):
-        """Fault-injecting requests route through the HostManager."""
-        from ..runtime import FaultPlan, HostManager, RecoveryPolicy
-
-        fault_plan = FaultPlan.parse(list(request.inject), seed=request.seed)
-        policy = RecoveryPolicy(
-            max_attempts=request.retries + 1,
-            host_fallback=request.host_fallback,
-        )
-        manager = HostManager(
-            app.accelerators,
-            diagnostics=self.session.diagnostics,
-            tracer=self.tracer,
-        )
-        active = fault_plan.activate()
-        state = {
-            key: np.asarray(value)
-            for key, value in (
-                request.initial_state or workload.initial_state()
-            ).items()
-        }
-        previous = None
-        report = None
-        for step in range(request.steps):
-            report = manager.run(
-                app,
-                inputs=workload.inputs(request.step_offset + step, previous),
-                params=workload.params(),
-                state=state,
-                fault_plan=active,
-                hints=workload.hints(),
-                precision=request.precision,
-                policy=policy,
-            )
-            previous = report.result
-            state = report.result.state
-        return report.result
+        """Delegate (see :meth:`LocalExecutor.execute_with_faults`)."""
+        return self.executor.execute_with_faults(request, workload, app)
 
     # -- reporting ---------------------------------------------------------
 
@@ -852,7 +829,7 @@ class Server:
                 "timed_out": self._timed_out,
                 "invalid": self._invalid,
                 "outstanding": self._outstanding,
-                "distinct_configs": len(self._distinct_configs),
+                "distinct_configs": self.executor.reuse_snapshot()[1],
                 "sessions": len(self._sessions),
                 "session_steps": self._session_steps,
             }
@@ -891,15 +868,18 @@ class Server:
         registry.register("serve", self._serve_counters)
         registry.register("pool", self._pool_counters)
         registry.register("breaker", self.breakers.counters)
+        if self.procs is not None:
+            # Process mode: per-child plan/cache/lease counters, folded
+            # in as the children retire, plus crash/respawn health.
+            registry.register("procpool", self.procs.counters)
         return registry
 
     def report(self):
         """The run's :class:`ServeReport` (call after :meth:`close`)."""
-        stats = PLAN_STATS.snapshot()
+        stats = self.session.plan_stats.snapshot()
+        built_plans, distinct = self.executor.reuse_snapshot()
         with self._lock:
             tickets = list(self._tickets)
-            built_plans = list(self._built_plans)
-            distinct = len(self._distinct_configs)
             submitted = self._submitted
             completed = self._completed
             failed = self._failed
@@ -914,6 +894,15 @@ class Server:
         started = self._started_at or stopped
         report = ServeReport(
             workers=self.workers,
+            pool=self.pool_mode,
+            processes=(
+                self.procs.aggregated["processes_reported"]
+                if self.procs is not None
+                else 0
+            ),
+            worker_crashes=(
+                self.procs.worker_crashes if self.procs is not None else 0
+            ),
             queue_capacity=self.scheduler.capacity,
             wall_seconds=max(0.0, stopped - started),
             submitted=submitted,
@@ -928,14 +917,22 @@ class Server:
             sessions=[sess.summary() for sess in sessions],
             breakers=self.breakers.snapshot(),
             queue_peak=self.scheduler.peak_depth,
-            plans_built=stats.graphs_planned - self._stats_base.graphs_planned,
+            plans_built=(
+                stats.graphs_planned - self._stats_base.graphs_planned
+                + self._child_plans_built
+            ),
             statements_planned=(
                 stats.statements_planned - self._stats_base.statements_planned
+                + self._child_statements_planned
             ),
             distinct_configs=distinct,
-            expected_plans=sum(plan.graph_count for plan in built_plans),
-            expected_statements=sum(
-                plan.statement_count for plan in built_plans
+            expected_plans=(
+                sum(plan.graph_count for plan in built_plans)
+                + self._child_expected_plans
+            ),
+            expected_statements=(
+                sum(plan.statement_count for plan in built_plans)
+                + self._child_expected_statements
             ),
             requests=[
                 ticket.metrics for ticket in tickets if ticket.done()

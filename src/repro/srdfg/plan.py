@@ -345,6 +345,7 @@ class StatementPlan:
         float_dtype=np.float64,
         enable_einsum=True,
         label=None,
+        stats=None,
     ):
         start = time.perf_counter()
         self.stmt = stmt
@@ -372,7 +373,14 @@ class StatementPlan:
         self.seconds = 0.0
         self.first_seconds = None
         self._lock = threading.Lock()
+        # Build counters land in the process-global PLAN_STATS *and*, when
+        # given, a scoped PlanStats (e.g. one CompilerSession's) — so two
+        # concurrent servers can each assert their own plan-reuse delta
+        # without reading each other's builds. Not stored: plans outlive
+        # sessions in the shared cache tier.
         PLAN_STATS.bump(statements_planned=1)
+        if stats is not None:
+            stats.bump(statements_planned=1)
 
     # -- execution ---------------------------------------------------------
 
@@ -694,7 +702,8 @@ class ExecutionPlan:
     plan serves every structurally identical graph instance.
     """
 
-    def __init__(self, graph, reductions=None, config=None, diagnostics=None):
+    def __init__(self, graph, reductions=None, config=None, diagnostics=None,
+                 stats=None):
         start = time.perf_counter()
         config = config or PlanConfig()
         if reductions is None:
@@ -730,6 +739,7 @@ class ExecutionPlan:
                     float_dtype=float_dtype,
                     enable_einsum=config.enable_einsum,
                     label=f"{stmt.target} := {node.name}",
+                    stats=stats,
                 )
                 label = statement.label
                 serial = 2
@@ -742,7 +752,8 @@ class ExecutionPlan:
                 )
             elif node.kind == COMPONENT:
                 sub_plan = ExecutionPlan(
-                    node.subgraph, reductions=self.reductions, config=config
+                    node.subgraph, reductions=self.reductions, config=config,
+                    stats=stats,
                 )
                 self._components.append((node.name, sub_plan))
                 step = _ComponentStep(
@@ -764,6 +775,8 @@ class ExecutionPlan:
         #: post-build by the driver, never required for correctness.
         self.kernel = None
         PLAN_STATS.bump(graphs_planned=1)
+        if stats is not None:
+            stats.bump(graphs_planned=1)
         if diagnostics is not None:
             diagnostics.note(
                 f"built execution plan for {graph.name!r}: "
@@ -980,14 +993,20 @@ class ExecutionPlan:
 
 
 def build_plan(graph, reductions=None, config=None, diagnostics=None,
-               tracer=None):
-    """Compile *graph* into a fresh :class:`ExecutionPlan` (no memoisation)."""
+               tracer=None, stats=None):
+    """Compile *graph* into a fresh :class:`ExecutionPlan` (no memoisation).
+
+    *stats* (a :class:`PlanStats`) additionally receives the build
+    counters, scoped — e.g. one CompilerSession's — alongside the
+    process-global :data:`PLAN_STATS`.
+    """
     tracer = tracer or NULL_TRACER
     with tracer.span(
         f"plan-build {graph.name}", category="plan", graph=graph.name
     ) as span:
         plan = ExecutionPlan(
-            graph, reductions=reductions, config=config, diagnostics=diagnostics
+            graph, reductions=reductions, config=config,
+            diagnostics=diagnostics, stats=stats,
         )
         span.note(steps=len(plan.steps), statements=plan.statement_count)
         return plan
@@ -1046,7 +1065,7 @@ def memoize_plan(graph, plan):
 
 
 def plan_for_graph(graph, reductions=None, config=None, registry=None,
-                   diagnostics=None, tracer=None):
+                   diagnostics=None, tracer=None, stats=None):
     """The shared plan for *graph* under *config*; builds at most once.
 
     Consults (in order): the per-instance weak memo, then *registry* (an
@@ -1065,7 +1084,7 @@ def plan_for_graph(graph, reductions=None, config=None, registry=None,
     if not sharable:
         return build_plan(
             graph, reductions=reductions, config=config,
-            diagnostics=diagnostics, tracer=tracer,
+            diagnostics=diagnostics, tracer=tracer, stats=stats,
         )
     pending_key = (id(graph), config)
     while True:
@@ -1094,12 +1113,13 @@ def plan_for_graph(graph, reductions=None, config=None, registry=None,
                 if plan is None:
                     plan = build_plan(
                         graph, config=config, diagnostics=diagnostics,
-                        tracer=tracer,
+                        tracer=tracer, stats=stats,
                     )
                     registry.plan_put(key, plan)
             else:
                 plan = build_plan(
-                    graph, config=config, diagnostics=diagnostics, tracer=tracer
+                    graph, config=config, diagnostics=diagnostics,
+                    tracer=tracer, stats=stats,
                 )
             with _MEMO_LOCK:
                 memo[config] = plan

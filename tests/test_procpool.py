@@ -1,0 +1,440 @@
+"""Process-parallel serving suite: cross-process compile coalescing via
+lease files, the process-backed worker pool, crash healing, priority
+aging, closed-scheduler rejections, and the asyncio admission frontend.
+
+The contracts under test:
+
+* two processes racing the same artifact key run the builder exactly
+  once — the lease loser waits on the published artifact instead of
+  recompiling,
+* a killed lease-holder's stale lease is detected (pid probe / ttl) and
+  reclaimed without deadlock or double-publish,
+* process mode is bit-identical to thread mode on a mixed trace, with
+  per-process counters aggregated into one truthful ServeReport,
+* a worker process that dies mid-service answers its request with
+  ``WorkerCrashedError``, the slot respawns, and later requests succeed,
+* priority aging promotes long-waiting low-priority entries (injectable
+  clock, no sleeping),
+* a closed scheduler rejects with ``closed=True`` / ``retry_after=None``
+  and ``loadgen.replay`` gives up instead of spinning,
+* ``Ticket.add_done_callback`` fires exactly once, including when the
+  ticket is already done,
+* the saturation harness drives the asyncio frontend to completion with
+  bit-identical responses.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.driver.cache import ArtifactCache
+from repro.driver.lease import Lease
+from repro.serve import (
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    Request,
+    Scheduler,
+    Server,
+    replay,
+    run_serial,
+    saturate,
+    synth_trace,
+)
+from repro.errors import QueueFullError, WorkerCrashedError
+
+
+_FORK = multiprocessing.get_context("fork")
+
+
+# ---------------------------------------------------------------------------
+# Cross-process single-flight: the lease protocol on the disk tier.
+# ---------------------------------------------------------------------------
+
+
+def _race_get_or_build(cache_dir, key, barrier, marker_dir, queue):
+    cache = ArtifactCache(cache_dir=str(cache_dir))
+
+    def builder():
+        marker = os.path.join(marker_dir, f"built-{os.getpid()}")
+        with open(marker, "w") as handle:
+            handle.write(str(os.getpid()))
+        time.sleep(0.2)  # long enough that the losers must wait
+        return {"payload": "artifact-body", "key": key}
+
+    barrier.wait(timeout=30)
+    artifact, provenance = cache.get_or_build(key, builder)
+    queue.put(
+        (
+            os.getpid(),
+            provenance,
+            artifact["payload"],
+            cache.stats.lease_waited,
+        )
+    )
+
+
+def test_two_processes_racing_same_key_build_exactly_once(tmp_path):
+    cache_dir = tmp_path / "cache"
+    marker_dir = tmp_path / "markers"
+    marker_dir.mkdir()
+    barrier = _FORK.Barrier(3)
+    queue = _FORK.Queue()
+    racers = [
+        _FORK.Process(
+            target=_race_get_or_build,
+            args=(cache_dir, "k-race", barrier, str(marker_dir), queue),
+        )
+        for _ in range(3)
+    ]
+    for racer in racers:
+        racer.start()
+    results = [queue.get(timeout=60) for _ in racers]
+    for racer in racers:
+        racer.join(timeout=10)
+        assert racer.exitcode == 0
+
+    provenances = sorted(result[1] for result in results)
+    assert provenances == ["built", "coalesced", "coalesced"]
+    # Every process got the same artifact body.
+    assert {result[2] for result in results} == {"artifact-body"}
+    # The builder ran in exactly one process: one marker file.
+    assert len(list(marker_dir.iterdir())) == 1
+    # The losers waited on the artifact (lease_waited counted in-child).
+    waited = sum(result[3] for result in results)
+    assert waited == 2
+    # No lease file survives the race.
+    assert not (cache_dir / "k-race.lease").exists()
+
+
+def test_dead_holders_stale_lease_is_reclaimed(tmp_path):
+    cache = ArtifactCache(cache_dir=str(tmp_path))
+    # A child that exits immediately gives us a guaranteed-dead pid.
+    child = _FORK.Process(target=lambda: None)
+    child.start()
+    child.join()
+    lease_path = tmp_path / "k-stale.lease"
+    lease_path.write_text(f"{child.pid}:{time.time()}")
+
+    started = time.monotonic()
+    artifact, provenance = cache.get_or_build(
+        "k-stale", lambda: {"v": 1}, wait_timeout_s=30.0
+    )
+    elapsed = time.monotonic() - started
+
+    assert provenance == "built"
+    assert artifact == {"v": 1}
+    assert cache.stats.lease_reclaimed >= 1
+    assert elapsed < 10.0  # reclaimed, not waited out
+    assert not lease_path.exists()
+
+
+def test_killed_leaseholder_does_not_deadlock_waiters(tmp_path):
+    """SIGKILL the process holding the lease mid-build; a waiter must
+    reclaim and build — no deadlock, no double-publish."""
+    cache_dir = tmp_path / "cache"
+
+    def hold_forever(ready):
+        cache = ArtifactCache(cache_dir=str(cache_dir))
+        lease = Lease(cache._lease_path("k-kill"))
+        assert lease.acquire()
+        ready.set()
+        time.sleep(300)  # killed long before this returns
+
+    ready = _FORK.Event()
+    holder = _FORK.Process(target=hold_forever, args=(ready,))
+    holder.start()
+    assert ready.wait(timeout=30)
+    os.kill(holder.pid, signal.SIGKILL)
+    holder.join(timeout=10)
+
+    cache = ArtifactCache(cache_dir=str(cache_dir))
+    started = time.monotonic()
+    artifact, provenance = cache.get_or_build(
+        "k-kill", lambda: {"v": "rebuilt"}, wait_timeout_s=60.0
+    )
+    elapsed = time.monotonic() - started
+
+    assert provenance == "built"
+    assert artifact == {"v": "rebuilt"}
+    assert elapsed < 30.0
+    assert cache.stats.lease_reclaimed >= 1
+
+
+def test_lease_staleness_probes():
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "probe.lease")
+        lease = Lease(path, ttl_s=60.0)
+        assert lease.acquire()
+        # Our own live lease is never stale.
+        assert not Lease(path, ttl_s=60.0).stale()
+        lease.release()
+        # An expired-ttl lease is stale even with a live pid.
+        with open(path, "w") as handle:
+            handle.write(f"{os.getpid()}:{time.time() - 120}")
+        assert Lease(path, ttl_s=60.0).stale()
+
+
+# ---------------------------------------------------------------------------
+# Process pool: bit-identity, counter aggregation, crash healing.
+# ---------------------------------------------------------------------------
+
+
+def _mixed_trace():
+    return synth_trace(
+        requests=10,
+        workloads=("MobileRobot", "ElecUse", "FFT-8192"),
+        seed=7,
+        max_steps=2,
+    )
+
+
+def test_process_mode_bit_identical_to_thread_mode(tmp_path):
+    from repro.driver import CompilerSession
+
+    trace = _mixed_trace()
+
+    with Server(workers=3, queue_capacity=32) as threaded:
+        thread_responses, _ = replay(threaded, trace)
+
+    session = CompilerSession(cache_dir=str(tmp_path / "shared"))
+    with Server(
+        session=session, workers=3, queue_capacity=32, pool="process"
+    ) as server:
+        responses, _ = replay(server, trace)
+    report = server.report()
+
+    assert all(response.ok for response in responses)
+    assert [r.signature for r in responses] == [
+        r.signature for r in thread_responses
+    ]
+    assert report.pool == "process"
+    assert report.processes == 3
+    assert report.worker_crashes == 0
+    assert report.conservation_ok
+    # Aggregated per-process counters stay truthful: every child plans
+    # its own configs once, and the report's expectation accounts for
+    # that per-process rebuild.
+    assert report.plan_reuse_ok
+    assert report.plans_built == report.expected_plans
+    assert report.distinct_configs == 3
+
+
+def test_process_mode_coalesces_compiles_across_processes(tmp_path):
+    """With a shared disk tier, the N children build each artifact once
+    between them — the lease losers coalesce."""
+    from repro.driver import CompilerSession
+
+    trace = _mixed_trace()
+    session = CompilerSession(cache_dir=str(tmp_path / "shared"))
+    with Server(
+        session=session, workers=3, queue_capacity=32, pool="process"
+    ) as server:
+        responses, _ = replay(server, trace)
+    report = server.report()
+
+    assert all(response.ok for response in responses)
+    compile_counts = report.provenance_counts("compile")
+    # 3 distinct configs; every "built" beyond 3 must have been
+    # prevented by the disk tier + lease protocol.
+    assert compile_counts.get("built", 0) == 3
+    assert sum(compile_counts.values()) == len(trace)
+
+
+def test_worker_crash_yields_error_and_respawns():
+    with Server(workers=2, queue_capacity=16, pool="process") as server:
+        # Warm both workers so every child has served at least once.
+        warm = [
+            server.request(Request(workload="MobileRobot", steps=1))
+            for _ in range(4)
+        ]
+        assert all(response.ok for response in warm)
+
+        # Kill every child out from under the pool.
+        with server.procs._members_lock:
+            members = list(server.procs._members.values())
+        for member in members:
+            os.kill(member.process.pid, signal.SIGKILL)
+        for member in members:
+            member.process.join(timeout=10)
+
+        # The next dispatch per worker hits the dead child: the request
+        # fails loudly with WorkerCrashedError and the slot respawns.
+        after = [
+            server.request(Request(workload="MobileRobot", steps=1))
+            for _ in range(6)
+        ]
+    report = server.report()
+
+    crashed = [r for r in after if not r.ok]
+    healed = [r for r in after if r.ok]
+    assert crashed, "killing every child must fail at least one request"
+    assert all(
+        r.error_kind == "WorkerCrashedError" for r in crashed
+    )
+    assert healed, "respawned children must serve subsequent requests"
+    assert report.worker_crashes == len(crashed)
+    assert report.conservation_ok
+    assert report.completed == len(warm) + len(healed)
+    assert report.failed == len(crashed)
+
+
+def test_worker_crashed_error_is_a_serve_error():
+    from repro.errors import PolyMathError, ServeError
+
+    error = WorkerCrashedError("boom")
+    assert isinstance(error, ServeError)
+    assert isinstance(error, PolyMathError)
+
+
+# ---------------------------------------------------------------------------
+# Priority aging (injectable clock — no sleeping).
+# ---------------------------------------------------------------------------
+
+
+def test_aging_promotes_long_waiting_low_priority():
+    now = [0.0]
+    scheduler = Scheduler(capacity=8, aging_s=1.0, clock=lambda: now[0])
+    scheduler.submit(PRIORITY_LOW, "old-low")
+    now[0] = 2.5
+    scheduler.submit(PRIORITY_NORMAL, "new-normal")
+    # After 2.5s the low entry has aged two levels (effective 0) while
+    # the just-submitted normal entry has not aged at all — the old
+    # request dispatches first instead of starving.
+    assert scheduler.next(timeout=1) == "old-low"
+    assert scheduler.next(timeout=1) == "new-normal"
+
+
+def test_without_aging_priority_order_is_strict():
+    scheduler = Scheduler(capacity=8)
+    scheduler.submit(PRIORITY_LOW, "low")
+    scheduler.submit(PRIORITY_NORMAL, "normal")
+    assert scheduler.next(timeout=1) == "normal"
+    assert scheduler.next(timeout=1) == "low"
+
+
+def test_aging_rebuild_is_lazy():
+    now = [0.0]
+    scheduler = Scheduler(capacity=8, aging_s=1.0, clock=lambda: now[0])
+    scheduler.submit(PRIORITY_LOW, "low")
+    scheduler.submit(PRIORITY_NORMAL, "normal")
+    # Within the first interval nothing has aged: strict priority holds.
+    now[0] = 0.5
+    assert scheduler.next(timeout=1) == "normal"
+
+
+def test_aging_s_must_be_positive():
+    with pytest.raises(ValueError):
+        Scheduler(capacity=8, aging_s=0)
+    with pytest.raises(ValueError):
+        Scheduler(capacity=8, aging_s=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Closed-scheduler rejections are terminal, not backpressure.
+# ---------------------------------------------------------------------------
+
+
+def test_closed_scheduler_rejection_is_distinguishable():
+    scheduler = Scheduler(capacity=4)
+    scheduler.close()
+    with pytest.raises(QueueFullError) as excinfo:
+        scheduler.submit(PRIORITY_NORMAL, "late")
+    assert excinfo.value.closed
+    assert excinfo.value.retry_after is None
+
+
+def test_backpressure_rejection_still_carries_retry_after():
+    scheduler = Scheduler(capacity=1)
+    scheduler.submit(PRIORITY_NORMAL, "fills-the-queue")
+    with pytest.raises(QueueFullError) as excinfo:
+        scheduler.submit(PRIORITY_NORMAL, "rejected")
+    assert not excinfo.value.closed
+    assert excinfo.value.retry_after is not None
+
+
+def test_replay_gives_up_on_closed_server():
+    server = Server(workers=1, queue_capacity=4)
+    server.start()
+    server.close()
+    trace = [Request(workload="MobileRobot", steps=1) for _ in range(3)]
+    started = time.monotonic()
+    responses, retries = replay(server, trace, retry=True)
+    elapsed = time.monotonic() - started
+    assert responses == [None, None, None]
+    assert retries == 0  # closed is terminal: no retry spin
+    assert elapsed < 5.0
+
+
+# ---------------------------------------------------------------------------
+# Ticket callbacks and the asyncio admission frontend.
+# ---------------------------------------------------------------------------
+
+
+def test_ticket_done_callback_fires_exactly_once():
+    fired = []
+    with Server(workers=1, queue_capacity=4) as server:
+        ticket = server.submit(Request(workload="MobileRobot", steps=1))
+        ticket.add_done_callback(lambda t: fired.append(("pre", t.response)))
+        response = ticket.wait(timeout=120)
+        # Registering on an already-done ticket fires immediately.
+        ticket.add_done_callback(lambda t: fired.append(("post", t.response)))
+    assert [tag for tag, _ in fired] == ["pre", "post"]
+    assert all(resp is response for _, resp in fired)
+
+
+def test_saturate_completes_with_bit_identical_responses():
+    with Server(workers=2, queue_capacity=32) as server:
+        summary = saturate(server, requests=200, max_inflight=64)
+    report = server.report()
+    assert summary["completed"] == 200
+    assert summary["errors"] == 0
+    assert len(summary["signatures"]) == 1
+    assert report.conservation_ok
+    assert report.plan_reuse_ok
+
+
+# ---------------------------------------------------------------------------
+# Per-server plan-stat scoping (satellite: plan_reuse_ok must not read
+# the process-global PLAN_STATS).
+# ---------------------------------------------------------------------------
+
+
+def test_plan_reuse_scoped_per_server():
+    trace = synth_trace(
+        requests=6, workloads=("MobileRobot",), seed=1, max_steps=2
+    )
+    with Server(workers=2, queue_capacity=16) as first:
+        replay(first, trace)
+    # A second server with a fresh session must report only its own
+    # plan builds — the first run's counters must not leak in.
+    with Server(workers=2, queue_capacity=16) as second:
+        replay(second, trace)
+    report = second.report()
+    assert report.plan_reuse_ok
+    assert report.distinct_configs == 1
+    assert report.plans_built == report.expected_plans
+
+
+def test_serial_baseline_matches_process_trace(tmp_path):
+    from repro.driver import CompilerSession
+
+    trace = synth_trace(
+        requests=6, workloads=("MobileRobot", "FFT-8192"), seed=5,
+        max_steps=2,
+    )
+    serial, _ = run_serial(trace)
+    session = CompilerSession(cache_dir=str(tmp_path / "shared"))
+    with Server(
+        session=session, workers=2, queue_capacity=16, pool="process"
+    ) as server:
+        responses, _ = replay(server, trace)
+    assert [r.signature for r in responses] == [
+        r.signature for r in serial
+    ]
